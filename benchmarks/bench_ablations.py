@@ -1,0 +1,138 @@
+"""Ablation benches A1-A10 (DESIGN.md §2).
+
+Run with::
+
+    pytest benchmarks/bench_ablations.py --benchmark-only -s
+
+Each test regenerates one ablation table and asserts its expected
+qualitative outcome, so a regression in any design choice fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_adaptivity,
+    ablation_analytic_cross_check,
+    ablation_crp_sweep,
+    ablation_k_sweep,
+    ablation_lineage,
+    ablation_multipool,
+    ablation_rip_sweep,
+    ablation_scaling,
+    ablation_scan_swamping,
+    ablation_victim_structure,
+)
+
+from .conftest import emit
+
+
+def test_a1_k_sweep(benchmark):
+    """A1: K=2 captures almost all of the benefit; higher K converges to A0."""
+    table = benchmark.pedantic(ablation_k_sweep, rounds=1, iterations=1)
+    emit("A1 — K sweep", table.render())
+    ratios = dict(zip(table.column("K"), table.column("hit ratio")))
+    assert ratios[2] > ratios[1] + 0.15       # the big jump is 1 -> 2
+    assert ratios[3] >= ratios[2] - 0.01      # diminishing returns
+    assert abs(ratios[5] - ratios["A0"]) < 0.02
+
+
+def test_a2_crp_sweep(benchmark):
+    """A2: a CRP covering burst gaps improves LRU-2 under correlated refs."""
+    table = benchmark.pedantic(ablation_crp_sweep, rounds=1, iterations=1)
+    emit("A2 — Correlated Reference Period sweep", table.render())
+    ratios = dict(zip(table.column("CRP"),
+                      table.column("LRU-2 hit ratio")))
+    best_with_crp = max(ratios[crp] for crp in (4, 8, 16))
+    assert best_with_crp > ratios[0]          # CRP beats no-CRP
+    correlated = dict(zip(table.column("CRP"),
+                          table.column("correlated refs")))
+    assert correlated[8] > correlated[0]      # bursts actually collapsed
+
+
+def test_a3_rip_sweep(benchmark):
+    """A3: RIP below the hot interarrival cripples re-learning; above, flat."""
+    table = benchmark.pedantic(ablation_rip_sweep, rounds=1, iterations=1)
+    emit("A3 — Retained Information Period sweep", table.render())
+    ratios = dict(zip(table.column("RIP"),
+                      table.column("LRU-2 hit ratio")))
+    assert ratios[200] < ratios[1600] - 0.005  # too-short RIP hurts
+    assert abs(ratios[6000] - ratios["inf"]) < 0.01  # plateau reached
+    blocks = dict(zip(table.column("RIP"), table.column("history blocks")))
+    assert blocks[1600] < blocks["inf"] / 10   # purging bounds memory
+
+
+def test_a4_adaptivity(benchmark):
+    """A4: after a hot-spot jump, LRU-2 recovers and LFU does not."""
+    table = benchmark.pedantic(ablation_adaptivity, rounds=1, iterations=1)
+    emit("A4 — adaptivity to moving hot spots", table.render())
+    rows = {row[0]: row[1:] for row in table.rows}
+    # In the final epoch, LRU-2 has re-adapted; LFU is still stuck on the
+    # first epoch's favourites.
+    assert rows["LRU-2"][-1] > rows["LFU"][-1] + 0.1
+    # LFU's best epoch is its first; afterwards it never fully recovers.
+    assert max(rows["LFU"][1:]) < rows["LFU"][0]
+
+
+def test_a5_scan_swamping(benchmark):
+    """A5: Example 1.2 — LRU-1 degrades under scans far more than LRU-2."""
+    table = benchmark.pedantic(ablation_scan_swamping, rounds=1,
+                               iterations=1)
+    emit("A5 — sequential-scan swamping", table.render())
+    degradation = dict(zip(table.column("policy"),
+                           table.column("degradation")))
+    assert degradation["LRU-1"] > degradation["LRU-2"] + 0.05
+    assert degradation["LRU-2"] < 0.1
+
+
+def test_a6_scaling(benchmark):
+    """A6: the two-pool results are invariant under N1,N2,B scaling."""
+    table = benchmark.pedantic(ablation_scaling, rounds=1, iterations=1)
+    emit("A6 — scale invariance", table.render())
+    lru2 = table.column("LRU-2")
+    assert max(lru2) - min(lru2) < 0.04
+
+
+def test_a7_analytic_cross_check(benchmark):
+    """A7: simulation agrees with the [DANTOWS]-style analytic models."""
+    table = benchmark.pedantic(ablation_analytic_cross_check, rounds=1,
+                               iterations=1)
+    emit("A7 — analytic cross-check", table.render())
+    for row in table.rows:
+        _, lru_sim, lru_ana, fifo_sim, fifo_ana, a0_sim, a0_closed = row
+        assert lru_sim == pytest.approx(lru_ana, abs=0.05)
+        assert fifo_sim == pytest.approx(fifo_ana, abs=0.05)
+        assert a0_sim == pytest.approx(a0_closed, abs=0.05)
+
+
+def test_a8_lineage(benchmark):
+    """A8: LRU-2 is competitive with its 2Q/ARC descendants on OLTP."""
+    table = benchmark.pedantic(ablation_lineage, rounds=1, iterations=1)
+    emit("A8 — lineage comparison", table.render())
+    ratios = dict(zip(table.column("policy"), table.column("hit ratio")))
+    assert ratios["LRU-2"] > ratios["LRU-1"]
+    # The whole frequency-aware family beats plain LRU here.
+    for descendant in ("2Q", "ARC"):
+        assert ratios[descendant] > ratios["LRU-1"]
+
+
+def test_a9_multipool(benchmark):
+    """A9: self-reliant LRU-2 approaches perfectly tuned pools and beats
+    mis-tuned ones — the paper's Section 1.1 argument."""
+    table = benchmark.pedantic(ablation_multipool, rounds=1, iterations=1)
+    emit("A9 — manual pool tuning vs LRU-2", table.render())
+    ratios = dict(zip(table.column("policy"), table.column("hit ratio")))
+    assert ratios["LRU-2"] >= ratios["multi-pool (tuned)"] - 0.05
+    assert ratios["LRU-2"] > ratios["multi-pool (mistuned)"] + 0.05
+    assert ratios["LRU-2"] > ratios["LRU-1"]
+
+
+def test_a10_victim_structure(benchmark):
+    """A10: the heap selector scales; the Figure 2.1 scan does not."""
+    table = benchmark.pedantic(ablation_victim_structure, rounds=1,
+                               iterations=1)
+    emit("A10 — victim-selection structure", table.render())
+    speedups = dict(zip(table.column("B"), table.column("speedup")))
+    # At the largest buffer the heap must win clearly.
+    assert speedups[1600] > 2.0

@@ -1,0 +1,74 @@
+"""A12 — bookkeeping overhead ("fairly simple and incurs little
+bookkeeping overhead", paper Sections 1.2 / 2.1.3).
+
+Run with::
+
+    pytest benchmarks/bench_overhead.py --benchmark-only -s
+
+Measures per-reference processing cost for every registered policy on an
+identical Zipfian stream. The claim under test: LRU-2's overhead is a
+small constant factor over classical LRU — not an asymptotic blow-up —
+thanks to the heap-backed victim selection (the literal Figure 2.1 scan
+is bench A10's subject).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import LRUKPolicy
+from repro.policies import make_policy
+from repro.sim import CacheSimulator, Table
+from repro.workloads import ZipfianWorkload
+
+from .conftest import emit
+
+CAPACITY = 500
+REFERENCES = 60_000
+
+#: (label, factory) — one row each; capacity-aware policies get CAPACITY.
+CONFIGS = (
+    ("LRU-1", lambda: make_policy("lru")),
+    ("LRU-2", lambda: LRUKPolicy(k=2)),
+    ("LRU-2 +CRP", lambda: LRUKPolicy(k=2, correlated_reference_period=8)),
+    ("LRU-3", lambda: LRUKPolicy(k=3)),
+    ("LFU", lambda: make_policy("lfu")),
+    ("FIFO", lambda: make_policy("fifo")),
+    ("CLOCK", lambda: make_policy("clock")),
+    ("GCLOCK", lambda: make_policy("gclock")),
+    ("2Q", lambda: make_policy("2q", capacity=CAPACITY)),
+    ("ARC", lambda: make_policy("arc", capacity=CAPACITY)),
+    ("SLRU", lambda: make_policy("slru", capacity=CAPACITY)),
+    ("FBR", lambda: make_policy("fbr", capacity=CAPACITY)),
+)
+
+
+def _run_overhead() -> Table:
+    workload = ZipfianWorkload(n=20_000)
+    references = list(workload.references(REFERENCES, seed=9))
+    table = Table(
+        title=f"A12 — per-reference policy overhead "
+              f"(B={CAPACITY}, Zipfian N=20k, {REFERENCES} refs)",
+        columns=["policy", "us/ref", "vs LRU-1"])
+    timings = {}
+    for label, factory in CONFIGS:
+        simulator = CacheSimulator(factory(), CAPACITY)
+        started = time.perf_counter()
+        for reference in references:
+            simulator.access(reference)
+        timings[label] = ((time.perf_counter() - started)
+                          / REFERENCES * 1e6)
+    base = timings["LRU-1"]
+    for label, _ in CONFIGS:
+        table.add_row(label, timings[label], timings[label] / base)
+    return table
+
+
+def test_a12_bookkeeping_overhead(benchmark):
+    table = benchmark.pedantic(_run_overhead, rounds=1, iterations=1)
+    emit("A12 — bookkeeping overhead", table.render())
+    factors = {row[0]: row[2] for row in table.rows}
+    # "little bookkeeping overhead": LRU-2 within a small constant factor
+    # of classical LRU on the same stream.
+    assert factors["LRU-2"] < 5.0
+    assert factors["LRU-3"] < 6.0

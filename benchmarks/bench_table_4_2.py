@@ -1,0 +1,39 @@
+"""Regenerate paper Table 4.2 — Zipfian random access (Section 4.2).
+
+Run with::
+
+    pytest benchmarks/bench_table_4_2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    PAPER_TABLE_4_2,
+    comparison_table,
+    shape_check,
+    table_4_2_spec,
+)
+from repro.sim import run_experiment
+
+from .conftest import bench_scale, emit
+
+SCALE = max(1.0, bench_scale() * 2)
+
+
+def _run_table_4_2():
+    spec = table_4_2_spec(scale=SCALE, repetitions=2)
+    return run_experiment(spec)
+
+
+def test_table_4_2(benchmark):
+    result = benchmark.pedantic(_run_table_4_2, rounds=1, iterations=1)
+    emit("Table 4.2 — paper vs measured",
+         comparison_table(result, PAPER_TABLE_4_2).render())
+
+    check = shape_check(result, ordering=["LRU-1", "LRU-2", "A0"])
+    assert check.passed, check.failures
+    # The equi-effective advantage shrinks toward 1.0 as B approaches N.
+    first = result.equi_effective_ratios[40]
+    last = result.equi_effective_ratios[500]
+    assert first is None or first >= 1.3
+    assert last is None or last <= 1.3

@@ -1,0 +1,67 @@
+"""Regenerate paper Table 4.3 — the OLTP trace experiment (Section 4.3).
+
+Run with::
+
+    pytest benchmarks/bench_table_4_3.py --benchmark-only -s
+
+Uses the calibrated synthetic bank trace (DESIGN.md §3). The default
+protocol replays a scaled trace; set ``REPRO_BENCH_SCALE=1.0`` to replay
+the paper's full 470,000 references. The bench also regenerates the
+paper's trace-characterization prose (skew + Five Minute census).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import profile_trace
+from repro.experiments import (
+    PAPER_TABLE_4_3,
+    comparison_table,
+    shape_check,
+    table_4_3_spec,
+)
+from repro.sim import run_experiment
+from repro.workloads import BankOLTPWorkload
+from repro.workloads.oltp import (
+    FIVE_MINUTE_WINDOW_REFERENCES,
+    PAPER_TRACE_LENGTH,
+)
+
+from .conftest import bench_scale, emit
+
+SCALE = bench_scale(default=0.35)
+
+
+def _run_table_4_3():
+    spec = table_4_3_spec(scale=SCALE)
+    return run_experiment(spec)
+
+
+def test_table_4_3(benchmark):
+    result = benchmark.pedantic(_run_table_4_3, rounds=1, iterations=1)
+    emit(f"Table 4.3 — paper vs measured (trace scale {SCALE:g})",
+         comparison_table(result, PAPER_TABLE_4_3).render())
+
+    # Shape: LRU-2 dominates LFU dominates LRU-1 at mid-range buffers;
+    # everything converges by B=5000.
+    check = shape_check(result, ordering=["LRU-1", "LRU-2"],
+                        min_gap_at=(600, "LRU-1", "LRU-2", 0.05),
+                        converges_at=(5000, "LRU-1", "LRU-2", 0.08))
+    assert check.passed, check.failures
+    cell_600 = next(c for c in result.cells if c.capacity == 600)
+    assert cell_600.hit_ratio("LFU") > cell_600.hit_ratio("LRU-1")
+    assert cell_600.hit_ratio("LRU-2") > cell_600.hit_ratio("LFU") - 0.02
+
+
+def test_trace_characterization(benchmark):
+    """The Section 4.3 prose statistics, recomputed on the synthetic trace."""
+    def profile():
+        window = int(FIVE_MINUTE_WINDOW_REFERENCES * SCALE)
+        count = int(PAPER_TRACE_LENGTH * SCALE)
+        refs = list(BankOLTPWorkload().references(count, seed=0))
+        return profile_trace(refs, max(1, window))
+
+    result = benchmark.pedantic(profile, rounds=1, iterations=1)
+    emit("Section 4.3 trace characterization",
+         "\n".join(result.summary_lines()))
+    assert result.skew.mass_of_top_fraction(0.03) > 0.3
+    assert result.skew.mass_of_top_fraction(0.65) > 0.85

@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates a paper artifact (table or ablation) and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+whole evaluation section. The printed tables are also what EXPERIMENTS.md
+records.
+
+Scale control: set ``REPRO_BENCH_SCALE`` (default "0.5") to trade run time
+for estimate quality; 1.0 is the paper's exact protocol length for the
+table benches. The pytest-benchmark timing numbers measure the *harness*
+(simulator throughput), which supports ablation A10 and regression
+tracking; the scientific output is the printed tables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 0.5) -> float:
+    """The global scale knob for benchmark protocol lengths."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session-wide protocol scale."""
+    return bench_scale()
+
+
+def emit(title: str, rendered: str) -> None:
+    """Print a regenerated artifact and persist it to the artifacts log.
+
+    pytest captures stdout of passing tests, so in addition to printing
+    (visible with ``-s``) every artifact is appended to
+    ``bench_artifacts.txt`` next to this file's repository root — the
+    regenerated tables survive a quiet benchmark run.
+    """
+    banner = "=" * 72
+    block = f"\n{banner}\n{title}\n{banner}\n{rendered}\n"
+    print(block)
+    artifacts = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "bench_artifacts.txt")
+    with open(artifacts, "a", encoding="utf-8") as handle:
+        handle.write(block)

@@ -1,0 +1,72 @@
+"""repro — a reproduction of O'Neil, O'Neil & Weikum (SIGMOD 1993),
+"The LRU-K Page Replacement Algorithm For Database Disk Buffering".
+
+Quickstart::
+
+    from repro import LRUKPolicy, CacheSimulator
+    from repro.workloads import TwoPoolWorkload
+
+    workload = TwoPoolWorkload(n1=100, n2=10_000)
+    simulator = CacheSimulator(LRUKPolicy(k=2), capacity=100)
+    simulator.run(workload.references(10_000, seed=1))
+    simulator.start_measurement()
+    simulator.run(workload.references(30_000, seed=2))
+    print(f"LRU-2 hit ratio: {simulator.hit_ratio:.3f}")
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the LRU-K algorithm itself;
+- :mod:`repro.policies` — LRU/LFU/FIFO/CLOCK/GCLOCK/LRD/Working-Set
+  baselines, A0 and Belady oracles, 2Q/ARC lineage;
+- :mod:`repro.buffer` — a full buffer manager (pins, dirty write-back);
+- :mod:`repro.storage` — simulated disk, service times, trace files;
+- :mod:`repro.db` — miniature database engine (B-tree, heap files,
+  transactions, CODASYL network schema) for realistic reference strings;
+- :mod:`repro.workloads` — the paper's workload generators;
+- :mod:`repro.sim` — measurement protocol, sweeps, B(1)/B(2);
+- :mod:`repro.analysis` — the Section 3 mathematics and analytic models;
+- :mod:`repro.experiments` — ready-made specs for Tables 4.1/4.2/4.3.
+"""
+
+from . import policies  # registers baseline policies
+from . import core      # registers lru-k / lru-2 / lru-3
+from .core import LRUKPolicy, LRUKStats
+from .policies import (
+    A0Policy,
+    ARCPolicy,
+    BeladyPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+    available_policies,
+    make_policy,
+)
+from .buffer import BufferPool, TraceRecorder
+from .storage import SimulatedDisk
+from .sim import CacheSimulator
+from .types import AccessKind, PageId, Reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LRUKPolicy",
+    "LRUKStats",
+    "A0Policy",
+    "ARCPolicy",
+    "BeladyPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "TwoQPolicy",
+    "ReplacementPolicy",
+    "available_policies",
+    "make_policy",
+    "BufferPool",
+    "TraceRecorder",
+    "SimulatedDisk",
+    "CacheSimulator",
+    "AccessKind",
+    "PageId",
+    "Reference",
+    "__version__",
+]

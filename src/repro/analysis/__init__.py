@@ -1,0 +1,64 @@
+"""Mathematical analysis: the paper's Section 3 plus analytic cross-checks.
+
+- :mod:`~repro.analysis.bayes` — Lemmas 3.3-3.6: Bayesian posteriors over
+  the permutation mapping, the a-posteriori estimate E_t(P(i)), and its
+  monotonicity in the backward K-distance.
+- :mod:`~repro.analysis.irm` — Independent Reference Model machinery:
+  geometric interarrival distribution (eq. 3.1), expected cost
+  (Definition 3.7), and the A0 optimum in closed form.
+- :mod:`~repro.analysis.dan_towsley` — characteristic-time approximations
+  of LRU and FIFO hit ratios under the IRM, after the approximate-analysis
+  lineage the paper cites as [DANTOWS]; used to cross-validate the
+  simulator (bench A7).
+- :mod:`~repro.analysis.trace_stats` — trace locality profiling: skew
+  curves, footprint, interarrival statistics, and the Five Minute Rule
+  census the paper applies to its OLTP trace in Section 4.3.
+"""
+
+from .bayes import (
+    backward_distance_posterior,
+    expected_reference_probability,
+    is_monotone_in_distance,
+)
+from .irm import (
+    a0_hit_ratio,
+    expected_cost,
+    geometric_interarrival_pmf,
+    interarrival_mean,
+    sample_irm_string,
+)
+from .dan_towsley import fifo_hit_ratio_approximation, lru_hit_ratio_approximation
+from .optimality import Theorem38Report, check_theorem_3_8
+from .skew_fit import SelfSimilarFit, describe_skew, fit_self_similar
+from .trace_stats import (
+    FiveMinuteCensus,
+    SkewProfile,
+    TraceProfile,
+    five_minute_census,
+    profile_trace,
+    skew_profile,
+)
+
+__all__ = [
+    "backward_distance_posterior",
+    "expected_reference_probability",
+    "is_monotone_in_distance",
+    "a0_hit_ratio",
+    "expected_cost",
+    "geometric_interarrival_pmf",
+    "interarrival_mean",
+    "sample_irm_string",
+    "fifo_hit_ratio_approximation",
+    "lru_hit_ratio_approximation",
+    "Theorem38Report",
+    "check_theorem_3_8",
+    "SelfSimilarFit",
+    "describe_skew",
+    "fit_self_similar",
+    "FiveMinuteCensus",
+    "SkewProfile",
+    "TraceProfile",
+    "five_minute_census",
+    "profile_trace",
+    "skew_profile",
+]

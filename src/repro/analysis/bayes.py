@@ -1,0 +1,116 @@
+"""Section 3.1: Bayesian estimation of page reference probabilities.
+
+The paper's statistical core: an unknown permutation ``x`` maps pages onto
+a known reference-probability vector ``beta``; observing that a page's
+K-th most recent reference lies ``k`` steps back updates our belief about
+which ``beta`` component the page carries.
+
+- Lemma 3.4 (eq. 3.6):
+
+      Pr(x(i)=v | b_t(i,K)=k)
+          = beta_v^K (1-beta_v)^(k-K+1) / sum_j beta_j^K (1-beta_j)^(k-K+1)
+
+  (Lemma 3.3 is the K=2 case.)
+
+- Lemma 3.5 (eq. 3.7): the a-posteriori estimate
+
+      E_t(P(i)) = sum_j beta_j^(K+1) (1-beta_j)^(k-K+1)
+                  / sum_j beta_j^K (1-beta_j)^(k-K+1)
+
+- Lemma 3.6: E_t(P(i)) is strictly decreasing in k whenever beta has at
+  least two distinct values — the fact that makes "evict the maximum
+  backward K-distance" the optimal decision rule.
+
+Exponentials underflow for large k, so all computations run in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+def _validate_beta(beta: Sequence[float]) -> None:
+    if not beta:
+        raise ConfigurationError("beta vector must be non-empty")
+    if any(not 0.0 < b < 1.0 for b in beta):
+        raise ConfigurationError(
+            "beta components must lie strictly in (0, 1) for the "
+            "Bayesian formulas (a page with beta=1 is always referenced)")
+    total = sum(beta)
+    if not math.isclose(total, 1.0, rel_tol=1e-6):
+        raise ConfigurationError(
+            f"beta must sum to 1 (got {total:.6f}); normalize first")
+
+
+def _log_weights(beta: Sequence[float], k: int, K: int,
+                 extra_beta_power: int) -> List[float]:
+    """log of beta_j^(K+extra) (1-beta_j)^(k-K+1) per component."""
+    exponent = k - K + 1
+    return [(K + extra_beta_power) * math.log(b)
+            + exponent * math.log1p(-b) for b in beta]
+
+
+def _log_sum_exp(values: Sequence[float]) -> float:
+    peak = max(values)
+    return peak + math.log(sum(math.exp(v - peak) for v in values))
+
+
+def backward_distance_posterior(beta: Sequence[float], k: int,
+                                K: int = 2) -> List[float]:
+    """Eq. (3.6): posterior that page i carries beta_v, given b_t(i,K)=k.
+
+    Returns a probability vector aligned with ``beta``.
+    """
+    _validate_beta(beta)
+    if K <= 0:
+        raise ConfigurationError("K must be positive")
+    if k < K:
+        raise ConfigurationError(
+            f"b_t(i,K)={k} is impossible: K references need distance >= K")
+    logs = _log_weights(beta, k, K, extra_beta_power=0)
+    normalizer = _log_sum_exp(logs)
+    return [math.exp(v - normalizer) for v in logs]
+
+
+def expected_reference_probability(beta: Sequence[float], k: int,
+                                   K: int = 2) -> float:
+    """Eq. (3.7): E_t(P(i)) given b_t(i,K) = k."""
+    _validate_beta(beta)
+    if K <= 0:
+        raise ConfigurationError("K must be positive")
+    if k < K:
+        raise ConfigurationError(
+            f"b_t(i,K)={k} is impossible: K references need distance >= K")
+    numerator = _log_sum_exp(_log_weights(beta, k, K, extra_beta_power=1))
+    denominator = _log_sum_exp(_log_weights(beta, k, K, extra_beta_power=0))
+    return math.exp(numerator - denominator)
+
+
+def is_monotone_in_distance(beta: Sequence[float], distances: Sequence[int],
+                            K: int = 2) -> bool:
+    """Check Lemma 3.6 numerically over a set of backward distances.
+
+    True when E_t(P(i)) is non-increasing along the sorted distances
+    (strictly decreasing whenever beta has two distinct values; equality
+    is tolerated within floating slack for the degenerate uniform vector).
+    """
+    estimates = [expected_reference_probability(beta, k, K)
+                 for k in sorted(distances)]
+    slack = 1e-12
+    return all(later <= earlier + slack
+               for earlier, later in zip(estimates, estimates[1:]))
+
+
+def posterior_summary(beta: Sequence[float], k: int,
+                      K: int = 2) -> Dict[str, float]:
+    """Convenience bundle: posterior mode component and E_t(P(i))."""
+    posterior = backward_distance_posterior(beta, k, K)
+    mode_index = max(range(len(posterior)), key=posterior.__getitem__)
+    return {
+        "expected_probability": expected_reference_probability(beta, k, K),
+        "mode_component": float(mode_index),
+        "mode_mass": posterior[mode_index],
+    }

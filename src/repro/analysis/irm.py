@@ -1,0 +1,113 @@
+"""Independent Reference Model machinery (paper Sections 2 and 3).
+
+Under the IRM the reference string is i.i.d. with stationary distribution
+``{beta_p}``; the forward distance to the next occurrence of page p is
+geometric (eq. 3.1) with mean I_p = 1/beta_p, and the expected cost of a
+buffer state S is ``1 - sum_{i in S} beta_i`` (Definition 3.7). The A0
+optimum simply keeps the B most probable pages (Definition 3.1 /
+Theorem 3.2), giving a closed-form optimal hit ratio against which the
+simulated policies are checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from ..stats import SeededRng
+from ..types import PageId, Reference
+
+
+def geometric_interarrival_pmf(beta: float, k: int) -> float:
+    """Eq. (3.1): Pr(d_t(p) = k) = beta (1-beta)^(k-1)."""
+    if not 0.0 < beta <= 1.0:
+        raise ConfigurationError("beta must lie in (0, 1]")
+    if k < 1:
+        raise ConfigurationError("forward distances start at 1")
+    return beta * (1.0 - beta) ** (k - 1)
+
+
+def interarrival_mean(beta: float) -> float:
+    """I_p = 1/beta_p, the expected reference interarrival time."""
+    if not 0.0 < beta <= 1.0:
+        raise ConfigurationError("beta must lie in (0, 1]")
+    return 1.0 / beta
+
+
+def expected_cost(probabilities: Mapping[PageId, float],
+                  resident: Iterable[PageId]) -> float:
+    """Definition 3.7 / eq. (3.8): expected I/Os on the next reference.
+
+    ``C(A, S_t, omega) = 1 - sum_{i in S_t} beta_i`` — the probability the
+    next referenced page is not in buffer.
+    """
+    resident_set = set(resident)
+    unknown = resident_set - probabilities.keys()
+    if unknown:
+        raise ConfigurationError(
+            f"resident pages missing from the probability vector: "
+            f"{sorted(unknown)[:5]}")
+    cost = 1.0 - sum(probabilities[page] for page in resident_set)
+    # Guard floating noise: cost is a probability.
+    return min(1.0, max(0.0, cost))
+
+
+def a0_resident_set(probabilities: Mapping[PageId, float],
+                    capacity: int) -> List[PageId]:
+    """The pages A0 keeps resident: the ``capacity`` most probable."""
+    if capacity < 0:
+        raise ConfigurationError("capacity cannot be negative")
+    ranked = sorted(probabilities, key=lambda p: (-probabilities[p], p))
+    return ranked[:capacity]
+
+
+def a0_hit_ratio(probabilities: Mapping[PageId, float],
+                 capacity: int) -> float:
+    """Closed-form steady-state hit ratio of A0 under the IRM.
+
+    The expected hit probability of the stationary A0 buffer state: the
+    total mass of the ``capacity`` most probable pages. (The simulated A0
+    tracks this closely but not exactly, because the most recently faulted
+    page transiently occupies a slot — the Theorem 3.8 "m-1 of m buffers"
+    effect.)
+    """
+    return sum(probabilities[page]
+               for page in a0_resident_set(probabilities, capacity))
+
+
+def sample_irm_string(probabilities: Mapping[PageId, float], count: int,
+                      seed: int = 0) -> Iterator[Reference]:
+    """Draw an i.i.d. reference string from an explicit IRM vector."""
+    if count < 0:
+        raise ConfigurationError("count cannot be negative")
+    import bisect
+    pages = sorted(probabilities)
+    if not pages:
+        raise ConfigurationError("probability vector must be non-empty")
+    cdf: List[float] = []
+    acc = 0.0
+    total = sum(probabilities[page] for page in pages)
+    if total <= 0:
+        raise ConfigurationError("probabilities must have positive mass")
+    for page in pages:
+        acc += probabilities[page] / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    rng = SeededRng(seed)
+    for _ in range(count):
+        yield Reference(page=pages[bisect.bisect_left(cdf, rng.random())])
+
+
+def uniform_probabilities(n: int) -> Dict[PageId, float]:
+    """The no-information vector: every page equally likely."""
+    if n <= 0:
+        raise ConfigurationError("need at least one page")
+    return {page: 1.0 / n for page in range(n)}
+
+
+def normalized(probabilities: Mapping[PageId, float]) -> Dict[PageId, float]:
+    """A copy rescaled to sum to exactly 1."""
+    total = sum(probabilities.values())
+    if total <= 0:
+        raise ConfigurationError("probabilities must have positive mass")
+    return {page: mass / total for page, mass in probabilities.items()}

@@ -1,0 +1,128 @@
+"""Empirical verification of Theorem 3.8.
+
+The paper's optimality statement: "at any time t, the LRU-K algorithm
+will have in buffer: (1) the most recent page p to be brought in from
+disk, and (2) aside from p, the m-1 pages with minimum values for
+b_t(i,K)" — and therefore, by Lemma 3.6, the m-1 pages with maximum
+a-posteriori reference probability E_t(P(i)), which minimizes the
+expected cost (eq. 3.9)
+
+    C(A, S_t, omega) = 1 - sum_{i in S_t} E_t(P(i)).
+
+This module turns that proof into a runtime check: given a live
+:class:`~repro.core.LRUKPolicy` (driven with CRP=0, matching the
+Section 3 assumptions) and the workload's true probability vector, it
+recomputes every page's backward K-distance, the E_t estimates, and both
+costs, and reports whether the resident set is the optimal one. The test
+suite runs it along simulated reference strings; a failure would mean
+the implementation's victim choices are not the ones the theorem
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.history import INFINITE_DISTANCE
+from ..core.lruk import LRUKPolicy
+from ..errors import ConfigurationError
+from ..types import PageId
+from .bayes import expected_reference_probability
+
+
+@dataclass
+class Theorem38Report:
+    """Outcome of one Theorem 3.8 check at a fixed time t."""
+
+    time: int
+    capacity: int
+    holds: bool
+    lruk_cost: float
+    optimal_cost: float
+    #: Pages the theorem says should be resident but are not (beyond the
+    #: allowed most-recently-admitted slot).
+    missing: List[PageId] = field(default_factory=list)
+    #: Resident pages with strictly larger b_t than some absent page.
+    surplus: List[PageId] = field(default_factory=list)
+
+    @property
+    def cost_gap(self) -> float:
+        """How far the policy's expected cost is from the optimum."""
+        return self.lruk_cost - self.optimal_cost
+
+
+def _estimate(beta_values: List[float], distance: float, k: int,
+              uniform_estimate: float) -> float:
+    """E_t(P(i)) for a backward distance; infinity -> the no-info prior."""
+    if distance == INFINITE_DISTANCE:
+        # A page never seen K times carries (at most) the a-priori mean;
+        # for cost ordering purposes the limit k->inf of eq. 3.7 is the
+        # right stand-in and is below every finite-distance estimate.
+        return min(uniform_estimate,
+                   expected_reference_probability(
+                       beta_values, k=10 ** 6, K=k))
+    return expected_reference_probability(
+        beta_values, k=max(k, int(distance)), K=k)
+
+
+def check_theorem_3_8(policy: LRUKPolicy,
+                      probabilities: Mapping[PageId, float],
+                      now: int,
+                      last_admitted: Optional[PageId] = None
+                      ) -> Theorem38Report:
+    """Check the Theorem 3.8 buffer-content characterization at time t.
+
+    ``last_admitted`` is the page most recently brought in from disk,
+    which the theorem exempts from the minimum-distance requirement.
+    Requires the policy to run with CRP=0 (the Section 3 setting).
+    """
+    if policy.crp != 0:
+        raise ConfigurationError(
+            "Theorem 3.8 assumes a zero Correlated Reference Period")
+    beta_values = sorted(probabilities.values())
+    total = sum(beta_values)
+    if total <= 0:
+        raise ConfigurationError("probabilities must have positive mass")
+    beta_values = [b / total for b in beta_values]
+    n = len(beta_values)
+    uniform_estimate = 1.0 / n
+
+    resident = set(policy.resident_pages)
+    capacity = len(resident)
+    distances: Dict[PageId, float] = {}
+    for page in probabilities:
+        distances[page] = policy.backward_k_distance(page, now)
+
+    # -- structural check: resident \ {last} == argmin-(m-1) distances -----
+    # The most recently admitted page is exempt on BOTH sides: it sits in
+    # a buffer slot by fiat (it was just fetched) and therefore also does
+    # not compete in the distance ranking.
+    comparison = resident - ({last_admitted} if last_admitted else set())
+    required = capacity - (1 if last_admitted in resident else 0)
+    ranked: List[Tuple[float, PageId]] = sorted(
+        (distance, page) for page, distance in distances.items()
+        if page != last_admitted)
+    threshold = ranked[required - 1][0] if required > 0 else -1.0
+
+    missing = [page for distance, page in ranked[:required]
+               if page not in comparison and distance < threshold]
+    surplus = [page for page in comparison
+               if distances[page] > threshold]
+    # Ties at the threshold distance (notably b = infinity) make several
+    # optimal sets; any choice among tied pages satisfies the theorem.
+    holds = not missing and not surplus
+
+    # -- cost check (eq. 3.9) ------------------------------------------------
+    estimates = {page: _estimate(beta_values, distance, policy.k,
+                                 uniform_estimate)
+                 for page, distance in distances.items()}
+    lruk_cost = 1.0 - sum(estimates[page] for page in resident)
+    best_pages = sorted(estimates, key=lambda p: -estimates[p])[:capacity]
+    optimal_cost = 1.0 - sum(estimates[page] for page in best_pages)
+
+    return Theorem38Report(
+        time=now, capacity=capacity, holds=holds,
+        lruk_cost=min(1.0, max(0.0, lruk_cost)),
+        optimal_cost=min(1.0, max(0.0, optimal_cost)),
+        missing=missing, surplus=surplus)

@@ -1,0 +1,168 @@
+"""Trace locality profiling — the Section 4.3 trace characterization.
+
+The paper characterizes its OLTP trace with three kinds of statistics,
+all recomputed here for any reference string:
+
+- **Skew profile**: "40% of the references access only 3% of the database
+  pages that were accessed in the trace ... 90% of the references access
+  65% of the pages" — the cumulative mass of the most-referenced x% of
+  touched pages (:func:`skew_profile`).
+- **Five Minute Rule census**: "only about 1400 pages satisfy the
+  criterion of the Five Minute Rule to be kept in memory (i.e., are
+  re-referenced within 100 seconds)" — pages whose *mean* reference
+  interarrival time estimates I_p at or under the window
+  (:func:`five_minute_census`). The mean is the natural I_p estimator
+  (the rule is a statement about interarrival time, eq. 3.1's mean
+  1/beta_p); EXPERIMENTS.md reports this census for the synthetic trace.
+- **Footprint**: touched pages, reference count, references per page.
+
+All functions accept iterables of :class:`~repro.types.Reference` or bare
+page ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..types import PageId, Reference, as_reference
+
+
+def _page_sequence(references: Iterable) -> List[PageId]:
+    return [as_reference(item).page for item in references]
+
+
+@dataclass
+class SkewProfile:
+    """Cumulative reference mass by most-referenced page fraction."""
+
+    total_references: int
+    touched_pages: int
+    #: Sorted descending per-page reference counts.
+    counts: List[int] = field(repr=False, default_factory=list)
+
+    def mass_of_top_fraction(self, fraction: float) -> float:
+        """Fraction of references hitting the top ``fraction`` of pages."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must lie in [0, 1]")
+        if self.touched_pages == 0:
+            return 0.0
+        top = max(1, int(round(self.touched_pages * fraction)))
+        return sum(self.counts[:top]) / self.total_references
+
+    def fraction_for_mass(self, mass: float) -> float:
+        """Smallest page fraction carrying at least ``mass`` of references."""
+        if not 0.0 <= mass <= 1.0:
+            raise ConfigurationError("mass must lie in [0, 1]")
+        target = mass * self.total_references
+        acc = 0
+        for index, count in enumerate(self.counts):
+            acc += count
+            if acc >= target:
+                return (index + 1) / self.touched_pages
+        return 1.0
+
+    def paper_style_rows(self) -> List[Tuple[float, float]]:
+        """(page fraction, reference mass) rows like the paper's prose."""
+        return [(fraction, self.mass_of_top_fraction(fraction))
+                for fraction in (0.01, 0.03, 0.10, 0.25, 0.65, 1.00)]
+
+
+def skew_profile(references: Iterable) -> SkewProfile:
+    """Build the skew profile of a reference string."""
+    counts: Dict[PageId, int] = {}
+    total = 0
+    for page in _page_sequence(references):
+        counts[page] = counts.get(page, 0) + 1
+        total += 1
+    if total == 0:
+        raise ConfigurationError("cannot profile an empty trace")
+    ranked = sorted(counts.values(), reverse=True)
+    return SkewProfile(total_references=total, touched_pages=len(counts),
+                       counts=ranked)
+
+
+@dataclass
+class FiveMinuteCensus:
+    """Result of the Five Minute Rule census over a trace."""
+
+    window_references: int
+    qualifying_pages: int
+    re_referenced_pages: int
+    touched_pages: int
+
+    @property
+    def qualifying_fraction(self) -> float:
+        """Qualifying pages over touched pages."""
+        if self.touched_pages == 0:
+            return 0.0
+        return self.qualifying_pages / self.touched_pages
+
+
+def five_minute_census(references: Iterable,
+                       window_references: int) -> FiveMinuteCensus:
+    """Count pages whose mean interarrival is within the window.
+
+    A page needs at least one re-reference to have an interarrival sample;
+    single-reference pages never qualify (their I_p estimate is unbounded).
+    """
+    if window_references <= 0:
+        raise ConfigurationError("window must be positive")
+    first_seen: Dict[PageId, int] = {}
+    last_seen: Dict[PageId, int] = {}
+    gap_count: Dict[PageId, int] = {}
+    for t, page in enumerate(_page_sequence(references)):
+        if page in last_seen:
+            gap_count[page] = gap_count.get(page, 0) + 1
+        else:
+            first_seen[page] = t
+        last_seen[page] = t
+    qualifying = 0
+    for page, gaps in gap_count.items():
+        span = last_seen[page] - first_seen[page]
+        mean_gap = span / gaps
+        if mean_gap <= window_references:
+            qualifying += 1
+    return FiveMinuteCensus(window_references=window_references,
+                            qualifying_pages=qualifying,
+                            re_referenced_pages=len(gap_count),
+                            touched_pages=len(last_seen))
+
+
+@dataclass
+class TraceProfile:
+    """Combined trace characterization (what EXPERIMENTS.md reports)."""
+
+    references: int
+    touched_pages: int
+    skew: SkewProfile
+    census: FiveMinuteCensus
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable lines in the paper's phrasing."""
+        lines = [
+            f"{self.references} references over "
+            f"{self.touched_pages} touched pages",
+        ]
+        for fraction in (0.03, 0.65):
+            mass = self.skew.mass_of_top_fraction(fraction)
+            lines.append(
+                f"{mass * 100:.0f}% of the references access "
+                f"{fraction * 100:.0f}% of the touched pages")
+        lines.append(
+            f"{self.census.qualifying_pages} pages satisfy the Five Minute "
+            f"Rule criterion (mean re-reference interval <= "
+            f"{self.census.window_references} references)")
+        return lines
+
+
+def profile_trace(references: Sequence,
+                  five_minute_window: int) -> TraceProfile:
+    """One-pass-friendly full profile (materializes the page sequence once)."""
+    pages = _page_sequence(references)
+    skew = skew_profile(pages)
+    census = five_minute_census(pages, five_minute_window)
+    return TraceProfile(references=skew.total_references,
+                        touched_pages=skew.touched_pages,
+                        skew=skew, census=census)

@@ -1,0 +1,14 @@
+"""Buffer manager: frames, pins, dirty write-back, pluggable replacement.
+
+This is the heavyweight counterpart of :class:`repro.sim.CacheSimulator`:
+real page contents move between a :class:`repro.storage.SimulatedDisk` and
+a fixed set of frames, with pin/unpin discipline and write-back of dirty
+victims — the substrate the miniature database engine (:mod:`repro.db`)
+runs on.
+"""
+
+from .frame import Frame
+from .stats import BufferStats
+from .pool import BufferPool, PinnedPage, TraceRecorder
+
+__all__ = ["Frame", "BufferStats", "BufferPool", "PinnedPage", "TraceRecorder"]

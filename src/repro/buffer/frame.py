@@ -1,0 +1,68 @@
+"""Buffer frames: one memory slot holding one disk page image."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InvalidPinError
+from ..storage.page import DiskPage
+from ..types import PageId
+
+
+class Frame:
+    """A buffer slot: page image + pin count + dirty flag.
+
+    Pin discipline: a frame with ``pin_count > 0`` must not be evicted;
+    every ``pin()`` must be matched by exactly one ``unpin()``.
+    """
+
+    __slots__ = ("frame_id", "page", "pin_count", "dirty", "admitted_at")
+
+    def __init__(self, frame_id: int) -> None:
+        self.frame_id = frame_id
+        self.page: Optional[DiskPage] = None
+        self.pin_count = 0
+        self.dirty = False
+        self.admitted_at = 0
+
+    @property
+    def is_free(self) -> bool:
+        """True when no page occupies this frame."""
+        return self.page is None
+
+    @property
+    def page_id(self) -> Optional[PageId]:
+        """The id of the occupying page, or None when free."""
+        return None if self.page is None else self.page.page_id
+
+    def load(self, page: DiskPage, now: int) -> None:
+        """Install a freshly read page image."""
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        self.admitted_at = now
+
+    def pin(self) -> None:
+        """Take a pin; the frame becomes ineligible for eviction."""
+        self.pin_count += 1
+
+    def unpin(self, dirty: bool = False) -> None:
+        """Release a pin, optionally marking the page modified."""
+        if self.pin_count <= 0:
+            raise InvalidPinError(
+                f"frame {self.frame_id} unpinned more than pinned")
+        self.pin_count -= 1
+        if dirty:
+            self.dirty = True
+
+    def clear(self) -> Optional[DiskPage]:
+        """Empty the frame, returning the page image it held."""
+        page = self.page
+        self.page = None
+        self.pin_count = 0
+        self.dirty = False
+        return page
+
+    def __repr__(self) -> str:
+        return (f"Frame(id={self.frame_id}, page={self.page_id}, "
+                f"pins={self.pin_count}, dirty={self.dirty})")

@@ -1,0 +1,50 @@
+"""Buffer-pool statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferStats:
+    """Counters the buffer pool maintains across its lifetime."""
+
+    logical_reads: int = 0
+    logical_writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def references(self) -> int:
+        """Total logical page requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served without a physical read."""
+        if self.references == 0:
+            return 0.0
+        return self.hits / self.references
+
+    @property
+    def physical_reads(self) -> int:
+        """Disk reads implied by misses (one per miss)."""
+        return self.misses
+
+    @property
+    def physical_writes(self) -> int:
+        """Disk writes: dirty evictions plus explicit flushes."""
+        return self.dirty_evictions + self.flushes
+
+    def reset(self) -> None:
+        """Zero every counter (measurement-window boundary)."""
+        self.logical_reads = 0
+        self.logical_writes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.flushes = 0

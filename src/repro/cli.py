@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Examples::
+
+    repro table4.1                 # the two-pool experiment
+    repro table4.2 --scale 2       # Zipfian, longer windows
+    repro table4.3 --scale 0.3     # OLTP trace, shortened
+    repro trace-stats              # Section 4.3 trace characterization
+    repro ablation k-sweep         # any DESIGN.md ablation by name
+    repro list                     # what can be run
+
+(or ``python -m repro ...`` without installing the entry point.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import profile_trace
+from .experiments import (
+    PAPER_TABLE_4_1,
+    PAPER_TABLE_4_2,
+    PAPER_TABLE_4_3,
+    comparison_table,
+    table_4_1_spec,
+    table_4_2_spec,
+    table_4_3_spec,
+)
+from .experiments.ablations import ABLATIONS
+from .sim import run_experiment
+from .workloads import BankOLTPWorkload
+from .workloads.oltp import FIVE_MINUTE_WINDOW_REFERENCES, PAPER_TRACE_LENGTH
+
+
+def _progress(line: str) -> None:
+    print(f"  .. {line}", file=sys.stderr)
+
+
+def _run_table(number: str, scale: float, repetitions: Optional[int],
+               quiet: bool, compare: bool, chart: bool) -> int:
+    builders = {
+        "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
+        "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
+        "4.3": (table_4_3_spec, PAPER_TABLE_4_3, 1),
+    }
+    builder, paper_rows, default_reps = builders[number]
+    reps = repetitions if repetitions is not None else default_reps
+    spec = builder(scale=scale, repetitions=reps)
+    result = run_experiment(spec, progress=None if quiet else _progress)
+    if compare:
+        print(comparison_table(result, paper_rows).render())
+    else:
+        print(result.to_table().render())
+    if chart:
+        from .sim import chart_experiment
+        print()
+        print(chart_experiment(result))
+    return 0
+
+
+def _run_trace_stats(scale: float) -> int:
+    workload = BankOLTPWorkload()
+    count = int(PAPER_TRACE_LENGTH * scale)
+    references = list(workload.references(count, seed=0))
+    profile = profile_trace(references, FIVE_MINUTE_WINDOW_REFERENCES)
+    print("Synthetic OLTP trace characterization "
+          "(compare paper Section 4.3 prose):")
+    for line in profile.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _run_ablation(name: str) -> int:
+    try:
+        ablation = ABLATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ABLATIONS))
+        print(f"unknown ablation {name!r}; known: {known}", file=sys.stderr)
+        return 2
+    print(ablation().render())
+    return 0
+
+
+def _list_targets() -> int:
+    print("tables:     table4.1  table4.2  table4.3")
+    print("analysis:   trace-stats")
+    print("report:     report [--ablations] [--output FILE]")
+    print("ablations:  " + "  ".join(sorted(ABLATIONS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the LRU-K paper's tables and ablations.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for number in ("4.1", "4.2", "4.3"):
+        table = sub.add_parser(f"table{number}",
+                               help=f"regenerate paper Table {number}")
+        table.add_argument("--scale", type=float, default=1.0,
+                           help="protocol length multiplier (default 1.0)")
+        table.add_argument("--repetitions", type=int, default=None,
+                           help="seeded repetitions to average")
+        table.add_argument("--quiet", action="store_true",
+                           help="suppress per-cell progress on stderr")
+        table.add_argument("--compare", action="store_true",
+                           help="render side-by-side with the paper's numbers")
+        table.add_argument("--chart", action="store_true",
+                           help="append an ASCII hit-ratio chart")
+
+    stats = sub.add_parser("trace-stats",
+                           help="characterize the synthetic OLTP trace")
+    stats.add_argument("--scale", type=float, default=1.0)
+
+    ablation = sub.add_parser("ablation", help="run a DESIGN.md ablation")
+    ablation.add_argument("name", help="ablation name (see `repro list`)")
+
+    report = sub.add_parser(
+        "report", help="regenerate the full reproduction report (Markdown)")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--table-scale", type=float, default=1.0)
+    report.add_argument("--oltp-scale", type=float, default=0.25)
+    report.add_argument("--repetitions", type=int, default=2)
+    report.add_argument("--ablations", action="store_true",
+                        help="include the A1-A10 ablation tables")
+
+    sub.add_parser("list", help="list runnable targets")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _list_targets()
+    if args.command == "trace-stats":
+        return _run_trace_stats(args.scale)
+    if args.command == "ablation":
+        return _run_ablation(args.name)
+    if args.command == "report":
+        from .experiments.report import generate_report
+        text = generate_report(table_scale=args.table_scale,
+                               oltp_scale=args.oltp_scale,
+                               repetitions=args.repetitions,
+                               include_ablations=args.ablations,
+                               progress=_progress)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    number = args.command.removeprefix("table")
+    return _run_table(number, args.scale, args.repetitions,
+                      args.quiet, args.compare, args.chart)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

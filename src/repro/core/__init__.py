@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the LRU-K replacement algorithm.
+
+Public surface:
+
+- :class:`~repro.core.lruk.LRUKPolicy` — the LRU-K algorithm of Figure 2.1
+  with Correlated Reference Period, Retained Information Period, and
+  O(log B) victim selection (``selection="heap"``) or the literal Figure
+  2.1 linear scan (``selection="scan"``).
+- :class:`~repro.core.history.HistoryStore` / :class:`~repro.core.history.HistoryBlock`
+  — the HIST(p)/LAST(p) control blocks with RIP-driven purging.
+- :mod:`~repro.core.tuning` — Five Minute Rule helpers for sizing the CRP
+  and RIP (Section 2.1.2).
+"""
+
+from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
+from .lruk import LRUKPolicy, LRUKStats
+from .tuning import (
+    five_minute_rule_interarrival,
+    suggest_retained_information_period,
+    suggest_correlated_reference_period,
+)
+
+__all__ = [
+    "HistoryBlock",
+    "HistoryStore",
+    "INFINITE_DISTANCE",
+    "LRUKPolicy",
+    "LRUKStats",
+    "five_minute_rule_interarrival",
+    "suggest_retained_information_period",
+    "suggest_correlated_reference_period",
+]

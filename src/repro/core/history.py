@@ -1,0 +1,226 @@
+"""HIST/LAST history control blocks and the Retained Information store.
+
+Section 2.1.3 of the paper defines two data structures:
+
+- ``HIST(p)`` — "the history control block of page p; it contains the
+  times of the K most recent references to page p, discounting correlated
+  references: HIST(p,1) denotes the last reference, HIST(p,2) the second
+  to the last reference, etc."
+- ``LAST(p)`` — "the time of the most recent reference to page p,
+  regardless of whether this is a correlated reference or not."
+
+Crucially (Section 2.1.2, the *Page Reference Retained Information
+Problem*), these blocks outlive page residence: they are kept for the
+Retained Information Period (RIP) after the page's most recent access, and
+"an asynchronous demon process should purge history control blocks that
+are no longer justified under the retained information criterion".
+:class:`HistoryStore` implements that store, with the purge demon exposed
+both as an explicit :meth:`HistoryStore.purge` call and as an amortized
+automatic sweep.
+
+Timestamps follow the paper's convention: logical reference-string
+subscripts, 1-based; the value 0 in a HIST slot means "no recorded
+reference" and therefore an infinite backward distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import PageId
+
+#: Backward K-distance of a page lacking K recorded references
+#: (paper Definition 2.1: "= infinity, if p does not appear at least K
+#: times in r1, r2, ..., rt").
+INFINITE_DISTANCE = float("inf")
+
+
+class HistoryBlock:
+    """One page's HIST/LAST control block.
+
+    ``hist[i]`` is HIST(p, i+1): ``hist[0]`` the most recent *uncorrelated*
+    reference time, ``hist[k-1]`` the K-th most recent. Zero means unknown.
+    ``last`` is LAST(p).
+    """
+
+    __slots__ = ("hist", "last")
+
+    def __init__(self, k: int, now: int = 0) -> None:
+        if k <= 0:
+            raise ConfigurationError("history depth K must be positive")
+        self.hist: List[int] = [0] * k
+        self.last: int = now
+        if now:
+            self.hist[0] = now
+
+    @property
+    def k(self) -> int:
+        """History depth K of this block."""
+        return len(self.hist)
+
+    def kth_time(self) -> int:
+        """HIST(p, K): time of the K-th most recent uncorrelated reference."""
+        return self.hist[-1]
+
+    def backward_distance(self, now: int) -> float:
+        """Backward K-distance b_t(p, K) per Definition 2.1."""
+        kth = self.hist[-1]
+        if kth == 0:
+            return INFINITE_DISTANCE
+        return now - kth
+
+    def record_uncorrelated(self, now: int) -> None:
+        """Close the current correlated period and record a new reference.
+
+        This is the Figure 2.1 hit-path update: the period
+        ``LAST(p) - HIST(p,1)`` that the just-ended burst spanned is added
+        to every older history entry, collapsing the burst to an instant,
+        then the new reference becomes HIST(p,1).
+        """
+        correlation_period = self.last - self.hist[0]
+        for i in range(len(self.hist) - 1, 0, -1):
+            if self.hist[i - 1]:
+                self.hist[i] = self.hist[i - 1] + correlation_period
+            else:
+                self.hist[i] = 0
+        self.hist[0] = now
+        self.last = now
+
+    def record_correlated(self, now: int) -> None:
+        """A reference within the Correlated Reference Period: only LAST moves."""
+        self.last = now
+
+    def record_readmission(self, now: int) -> None:
+        """Figure 2.1 miss-path update for a page with surviving history.
+
+        The history entries shift without a correlation adjustment: the
+        page was dropped from buffer, so its previous correlated period is
+        already closed.
+        """
+        for i in range(len(self.hist) - 1, 0, -1):
+            self.hist[i] = self.hist[i - 1]
+        self.hist[0] = now
+        self.last = now
+
+    def __repr__(self) -> str:
+        return f"HistoryBlock(hist={self.hist}, last={self.last})"
+
+
+class HistoryStore:
+    """All pages' history blocks, with Retained Information purging.
+
+    Parameters
+    ----------
+    k:
+        History depth of the blocks created by :meth:`get_or_create`.
+    retained_information_period:
+        Blocks of *non-resident* pages whose LAST is more than this many
+        logical references in the past are purged. ``None`` disables
+        purging (the idealized Section 3 analysis).
+    purge_interval:
+        Run the amortized purge sweep at most once per this many
+        :meth:`touch` notifications (the "asynchronous demon" cadence).
+    """
+
+    def __init__(self, k: int,
+                 retained_information_period: Optional[int] = None,
+                 purge_interval: int = 256) -> None:
+        if k <= 0:
+            raise ConfigurationError("history depth K must be positive")
+        if (retained_information_period is not None
+                and retained_information_period <= 0):
+            raise ConfigurationError(
+                "retained information period must be positive (or None)")
+        if purge_interval <= 0:
+            raise ConfigurationError("purge interval must be positive")
+        self.k = k
+        self.retained_information_period = retained_information_period
+        self.purge_interval = purge_interval
+        self._blocks: Dict[PageId, HistoryBlock] = {}
+        # Expiry min-heap of (last, page); entries are lazily validated.
+        self._expiry: List[Tuple[int, PageId]] = []
+        self._touches_since_purge = 0
+        self.purged_blocks = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._blocks
+
+    def get(self, page: PageId) -> Optional[HistoryBlock]:
+        """The page's block, or None when unknown/purged."""
+        return self._blocks.get(page)
+
+    def get_or_create(self, page: PageId) -> Tuple[HistoryBlock, bool]:
+        """Return ``(block, created)``; a created block is all-zero."""
+        block = self._blocks.get(page)
+        if block is not None:
+            return block, False
+        block = HistoryBlock(self.k)
+        self._blocks[page] = block
+        return block, True
+
+    def touch(self, page: PageId, is_resident: Callable[[PageId], bool]) -> None:
+        """Note that a page's LAST advanced; drives the amortized demon.
+
+        ``is_resident`` lets the purge sweep skip blocks whose page is in
+        buffer — those are always retained (they back live replacement
+        decisions).
+        """
+        block = self._blocks.get(page)
+        if block is None:
+            return
+        if self.retained_information_period is None:
+            return
+        heapq.heappush(self._expiry, (block.last, page))
+        self._touches_since_purge += 1
+        if self._touches_since_purge >= self.purge_interval:
+            self.purge(block.last, is_resident)
+
+    def purge(self, now: int, is_resident: Callable[[PageId], bool]) -> int:
+        """Purge expired non-resident blocks; returns how many were dropped.
+
+        This is the paper's "asynchronous demon process"; the simulator
+        normally relies on the amortized sweep in :meth:`touch` but tests
+        and long-idle workloads may call it directly.
+        """
+        self._touches_since_purge = 0
+        rip = self.retained_information_period
+        if rip is None:
+            return 0
+        dropped = 0
+        postponed: List[Tuple[int, PageId]] = []
+        while self._expiry and self._expiry[0][0] + rip < now:
+            last, page = heapq.heappop(self._expiry)
+            block = self._blocks.get(page)
+            if block is None or block.last != last:
+                continue  # stale heap entry: the page was touched again
+            if is_resident(page):
+                # Resident blocks are always retained; keep the entry so the
+                # page is reconsidered once it has been evicted.
+                postponed.append((last, page))
+                continue
+            del self._blocks[page]
+            dropped += 1
+        for entry in postponed:
+            heapq.heappush(self._expiry, entry)
+        self.purged_blocks += dropped
+        return dropped
+
+    def drop(self, page: PageId) -> None:
+        """Remove a block unconditionally (used by bounded-memory mode)."""
+        self._blocks.pop(page, None)
+
+    def pages(self) -> Iterator[PageId]:
+        """Iterate over pages that currently have a block."""
+        return iter(self._blocks)
+
+    def clear(self) -> None:
+        """Forget all history (fresh run)."""
+        self._blocks.clear()
+        self._expiry.clear()
+        self._touches_since_purge = 0
+        self.purged_blocks = 0

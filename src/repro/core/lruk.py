@@ -1,0 +1,341 @@
+"""The LRU-K page replacement algorithm (paper Section 2, Figure 2.1).
+
+LRU-K drops the resident page whose *Backward K-distance* — the distance
+back to its K-th most recent uncorrelated reference — is largest
+(Definition 2.2), thereby estimating each page's reference interarrival
+time from its last K references instead of only its last one (classical
+LRU = LRU-1).
+
+This implementation is a faithful rendering of the Figure 2.1 pseudo-code
+with the two Section 2.1 refinements:
+
+- **Correlated Reference Period (CRP)** — references within ``crp``
+  logical time units of LAST(p) are treated as correlated: they advance
+  LAST(p) but do not create history entries, and when the burst ends its
+  duration is subtracted out of the interarrival estimate (the Figure 2.1
+  ``correlation_period_of_referenced_page`` shift). Pages inside their CRP
+  are also *ineligible* for replacement ("the system should not drop a
+  page immediately after its first reference").
+- **Retained Information Period (RIP)** — HIST blocks survive eviction
+  for ``retained_information_period`` time units past LAST(p) and are then
+  purged by the demon in :class:`~repro.core.history.HistoryStore`.
+
+Victim selection
+----------------
+``selection="scan"`` is the literal Figure 2.1 loop: O(B) over resident
+pages, choosing the minimum HIST(q, K) among eligible pages.
+
+``selection="heap"`` (default) is the production path the paper alludes to
+("finding the page with the maximum Backward K-distance would actually be
+based on a search tree"): a lazy min-heap keyed by
+``(HIST(q,K), HIST(q,1), q)``. HIST(q,K) only changes when a page receives
+an uncorrelated reference, so entries stay valid between accesses and
+victim choice is O(log B) amortized. The two selectors are decision-
+equivalent (property-tested) because they share the same total order:
+
+- primary key HIST(q, K): 0 (= infinite backward distance) sorts first,
+  exactly Definition 2.2's "maximum Backward K-distance";
+- secondary key HIST(q, 1): among the infinite-distance pages this is the
+  paper's suggested "classical LRU ... as a subsidiary policy", applied to
+  uncorrelated reference times.
+
+When *no* resident page is eligible (every page is inside its CRP — only
+possible when the buffer is small relative to the burst working set), the
+algorithm must still free a frame; we fall back to evicting the page with
+the smallest LAST(q), i.e. the page whose correlated burst has been idle
+longest, and count the event in :class:`LRUKStats.forced_evictions`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import ConfigurationError, NoEvictableFrameError
+from ..policies.base import NO_EXCLUSIONS, ReplacementPolicy, register_policy_factory
+from ..types import PageId
+from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
+
+
+@dataclass
+class LRUKStats:
+    """Bookkeeping counters exposed for analysis and ablation benches."""
+
+    uncorrelated_references: int = 0
+    correlated_references: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    infinite_distance_evictions: int = 0
+    forced_evictions: int = 0
+
+    @property
+    def history_informed_evictions(self) -> int:
+        """Evictions of pages that had a full K-history."""
+        return self.evictions - self.infinite_distance_evictions
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K replacement (Definition 2.2 + Figure 2.1).
+
+    Parameters
+    ----------
+    k:
+        History depth. ``k=1`` is classical LRU; the paper advocates
+        ``k=2`` "as a generally efficient policy".
+    correlated_reference_period:
+        CRP in logical references; 0 disables time-out correlation (every
+        reference is uncorrelated), matching the Section 3 analysis and
+        the synthetic experiments.
+    retained_information_period:
+        RIP in logical references; None retains history forever.
+    selection:
+        ``"heap"`` (default, O(log B)) or ``"scan"`` (literal Figure 2.1).
+    max_history_blocks:
+        Optional hard bound on retained HIST blocks (the paper's Section 5
+        "open issue" of history memory); oldest-LAST blocks of non-resident
+        pages are dropped beyond the bound.
+    """
+
+    name = "lru-k"
+
+    def __init__(self, k: int = 2,
+                 correlated_reference_period: int = 0,
+                 retained_information_period: Optional[int] = None,
+                 selection: str = "heap",
+                 max_history_blocks: Optional[int] = None,
+                 distinguish_processes: bool = False) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ConfigurationError("K must be a positive integer")
+        if correlated_reference_period < 0:
+            raise ConfigurationError("CRP cannot be negative")
+        if selection not in ("heap", "scan"):
+            raise ConfigurationError("selection must be 'heap' or 'scan'")
+        if max_history_blocks is not None and max_history_blocks <= 0:
+            raise ConfigurationError("max_history_blocks must be positive")
+        self.k = k
+        self.crp = correlated_reference_period
+        self.selection = selection
+        self.max_history_blocks = max_history_blocks
+        # Section 2.1.1: "It is clearly possible to distinguish processes
+        # making page references; for simplicity, however, we will assume
+        # ... references are not distinguished by process." The paper's
+        # simple mode is the default; with distinguish_processes=True a
+        # reference within the CRP only counts as correlated when it comes
+        # from the same process as the page's previous reference
+        # (inter-process re-references — pair type (4) — stay independent).
+        self.distinguish_processes = distinguish_processes
+        self._last_process: Dict[PageId, Optional[int]] = {}
+        self._current_process: Optional[int] = None
+        self.history = HistoryStore(
+            k, retained_information_period=retained_information_period)
+        self.stats = LRUKStats()
+        # Lazy victim heap: (HIST(q,K), HIST(q,1), page).
+        self._heap: List[Tuple[int, int, PageId]] = []
+        # Bounded-memory mode: LRU order of history blocks (by LAST).
+        self._block_lru: List[Tuple[int, PageId]] = []
+
+    # -- reference processing (Figure 2.1) -------------------------------------
+
+    def observe(self, reference, now: int) -> None:
+        """Stash the issuing process for process-aware correlation."""
+        self._current_process = reference.process_id
+
+    def _is_correlated(self, page: PageId, block: HistoryBlock,
+                       now: int) -> bool:
+        """Time-Out Correlation test, optionally process-aware."""
+        if now - block.last > self.crp:
+            return False
+        if not self.distinguish_processes:
+            return True
+        previous = self._last_process.get(page)
+        return (previous is not None
+                and previous == self._current_process)
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        """The "p is already in the buffer" branch of Figure 2.1."""
+        super().on_hit(page, now)
+        block = self.history.get(page)
+        if block is None:
+            # Cannot happen through the public protocol (resident pages
+            # always have blocks), but recover defensively.
+            block, _ = self.history.get_or_create(page)
+            block.record_uncorrelated(now)
+            self._push(page, block)
+        elif not self._is_correlated(page, block, now):
+            # "a new, uncorrelated reference"
+            block.record_uncorrelated(now)
+            self.stats.uncorrelated_references += 1
+            self._push(page, block)
+        else:
+            # "a correlated reference"
+            block.record_correlated(now)
+            self.stats.correlated_references += 1
+        if self.distinguish_processes:
+            self._last_process[page] = self._current_process
+        self._after_touch(page, block)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        """The fetch path of Figure 2.1 (after the victim was dropped)."""
+        super().on_admit(page, now)
+        block, created = self.history.get_or_create(page)
+        if created:
+            # "initialize history control block": HIST(p,i)=0 for i>=2.
+            block.hist[0] = now
+            block.last = now
+        else:
+            # "else for i := 2 to K do HIST(p,i) := HIST(p,i-1)"
+            block.record_readmission(now)
+        self.stats.admissions += 1
+        self.stats.uncorrelated_references += 1
+        if self.distinguish_processes:
+            self._last_process[page] = self._current_process
+        self._push(page, block)
+        self._after_touch(page, block)
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        self.stats.evictions += 1
+        block = self.history.get(page)
+        if block is not None and block.kth_time() == 0:
+            self.stats.infinite_distance_evictions += 1
+        # The HIST block deliberately survives: Retained Information.
+
+    # -- victim selection -------------------------------------------------------
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        if self.selection == "scan":
+            victim = self._choose_by_scan(now, exclude)
+        else:
+            victim = self._choose_by_heap(now, exclude)
+        if victim is None:
+            victim = self._forced_choice(now, exclude)
+        return victim
+
+    def _choose_by_scan(self, now: int,
+                        exclude: FrozenSet[PageId]) -> Optional[PageId]:
+        """The literal Figure 2.1 selection loop (reference implementation)."""
+        victim: Optional[PageId] = None
+        best: Tuple[float, float] = (INFINITE_DISTANCE, INFINITE_DISTANCE)
+        for q in self._resident:
+            if q in exclude:
+                continue
+            block = self.history.get(q)
+            if block is None:
+                continue
+            if now - block.last <= self.crp:
+                continue  # inside its Correlated Reference Period
+            key = (float(block.kth_time()), float(block.hist[0]))
+            if key < best or victim is None:
+                best = key
+                victim = q
+        return victim
+
+    def _choose_by_heap(self, now: int,
+                        exclude: FrozenSet[PageId]) -> Optional[PageId]:
+        """Search-tree selection: lazy min-heap over (HIST(q,K), HIST(q,1))."""
+        set_aside: List[Tuple[int, int, PageId]] = []
+        victim: Optional[PageId] = None
+        while self._heap:
+            kth, first, page = heapq.heappop(self._heap)
+            block = self.history.get(page)
+            stale = (page not in self._resident
+                     or block is None
+                     or block.kth_time() != kth
+                     or block.hist[0] != first)
+            if stale:
+                continue
+            set_aside.append((kth, first, page))
+            if page in exclude:
+                continue
+            if now - block.last <= self.crp:
+                continue  # protected by the Correlated Reference Period
+            victim = page
+            break
+        for entry in set_aside:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def _forced_choice(self, now: int, exclude: FrozenSet[PageId]) -> PageId:
+        """Every candidate is CRP-protected: evict the stalest burst."""
+        victim: Optional[PageId] = None
+        best_last = None
+        for q in self._resident:
+            if q in exclude:
+                continue
+            block = self.history.get(q)
+            last = block.last if block is not None else 0
+            if best_last is None or last < best_last:
+                best_last = last
+                victim = q
+        if victim is None:
+            raise NoEvictableFrameError("all resident pages are excluded")
+        self.stats.forced_evictions += 1
+        return victim
+
+    # -- introspection ------------------------------------------------------------
+
+    def backward_k_distance(self, page: PageId, now: int) -> float:
+        """b_t(page, K) per Definition 2.1 (infinity when unknown)."""
+        block = self.history.get(page)
+        if block is None:
+            return INFINITE_DISTANCE
+        return block.backward_distance(now)
+
+    def history_block(self, page: PageId) -> Optional[HistoryBlock]:
+        """The page's HIST/LAST block, if retained."""
+        return self.history.get(page)
+
+    @property
+    def retained_blocks(self) -> int:
+        """Number of history control blocks currently in memory."""
+        return len(self.history)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _push(self, page: PageId, block: HistoryBlock) -> None:
+        heapq.heappush(self._heap, (block.kth_time(), block.hist[0], page))
+
+    def _after_touch(self, page: PageId, block: HistoryBlock) -> None:
+        self.history.touch(page, self._resident.__contains__)
+        if self.max_history_blocks is not None:
+            heapq.heappush(self._block_lru, (block.last, page))
+            self._enforce_block_bound()
+
+    def _enforce_block_bound(self) -> None:
+        bound = self.max_history_blocks
+        assert bound is not None
+        set_aside: List[Tuple[int, PageId]] = []
+        while len(self.history) > bound and self._block_lru:
+            last, page = heapq.heappop(self._block_lru)
+            block = self.history.get(page)
+            if block is None or block.last != last:
+                continue  # stale
+            if page in self._resident:
+                set_aside.append((last, page))
+                continue
+            self.history.drop(page)
+        for entry in set_aside:
+            heapq.heappush(self._block_lru, entry)
+
+    def reset(self) -> None:
+        super().reset()
+        self.history.clear()
+        self.stats = LRUKStats()
+        self._heap.clear()
+        self._block_lru.clear()
+        self._last_process.clear()
+        self._current_process = None
+
+
+def _make_lruk(**kwargs) -> LRUKPolicy:
+    return LRUKPolicy(**kwargs)
+
+
+register_policy_factory("lru-k", _make_lruk)
+register_policy_factory("lru-2", lambda **kw: LRUKPolicy(k=2, **kw))
+register_policy_factory("lru-3", lambda **kw: LRUKPolicy(k=3, **kw))

@@ -1,0 +1,63 @@
+"""Miniature database engine substrate.
+
+The paper's reference strings come from database mechanisms: B-tree
+lookups alternating with record fetches (Example 1.1), sequential scans
+(Example 1.2), transactional re-references (Section 2.1.1), and CODASYL
+navigation (the Section 4.3 trace). This package implements those
+mechanisms for real — slotted pages, heap files, a B+-tree, transactions
+with retry, and a CODASYL-style network schema — all running on top of
+:class:`repro.buffer.BufferPool`, so that executing queries *produces*
+page reference strings instead of hand-waving them.
+"""
+
+from .record import RecordId, encode_fields, decode_fields
+from .slotted_page import SlottedPage
+from .heap_file import HeapFile
+from .btree import BPlusTree
+from .catalog import Catalog
+from .transaction import Transaction, TransactionManager
+from .executor import CustomerDatabase, build_customer_database
+from .operators import (
+    Filter,
+    IndexLookup,
+    IndexNestedLoopJoin,
+    IndexRangeScan,
+    Limit,
+    Operator,
+    Project,
+    SeqScan,
+)
+from .codasyl import (
+    CodasylDatabase,
+    CodasylSchema,
+    RecordType,
+    SetType,
+    build_bank_database,
+)
+
+__all__ = [
+    "RecordId",
+    "encode_fields",
+    "decode_fields",
+    "SlottedPage",
+    "HeapFile",
+    "BPlusTree",
+    "Catalog",
+    "Transaction",
+    "TransactionManager",
+    "CustomerDatabase",
+    "build_customer_database",
+    "Operator",
+    "SeqScan",
+    "IndexLookup",
+    "IndexNestedLoopJoin",
+    "IndexRangeScan",
+    "Filter",
+    "Project",
+    "Limit",
+    "CodasylDatabase",
+    "CodasylSchema",
+    "RecordType",
+    "SetType",
+    "build_bank_database",
+]

@@ -1,0 +1,332 @@
+"""A disk-resident B+-tree index over the buffer pool.
+
+This is the structure behind the paper's Example 1.1: a clustered key
+index whose root is resident, whose leaf pages are hot (every lookup
+touches one), and whose pointed-to record pages are cold. All node access
+goes through :class:`~repro.buffer.BufferPool`, so index traffic appears
+in the reference string exactly as the paper's I1, R1, I2, R2, ... pattern.
+
+Design:
+
+- Keys are signed 64-bit integers; values are fixed-length byte strings
+  (``value_size``, default the 10-byte :class:`~repro.db.record.RecordId`).
+- Leaves are chained (``next_leaf``) for range scans.
+- Node fan-out derives from the page payload size, but ``max_leaf_keys``
+  can be forced down to match a scenario (Example 1.1's "20 bytes for each
+  key entry" -> 200 entries/leaf).
+- Deletion is *lazy*: keys are removed from leaves without rebalancing
+  (underfull leaves persist). This keeps the code honest yet compact; the
+  technique is standard practice in real engines for non-merge workloads
+  and is documented behaviour here.
+
+Node page layout (within the page payload):
+
+    type(B) key_count(H) next_leaf(q)        -- header, 11 bytes
+    leaf:     key(q)*count, value(value_size)*count
+    internal: key(q)*count, child(q)*(count+1)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ..buffer.pool import BufferPool
+from ..errors import ConfigurationError, DatabaseError, DuplicateKeyError, RecordNotFoundError
+from ..storage.page import PAGE_PAYLOAD_SIZE
+from ..types import AccessKind, PageId
+
+_HEADER = struct.Struct("<BHq")
+_KEY = struct.Struct("<q")
+_CHILD = struct.Struct("<q")
+
+_LEAF = 0
+_INTERNAL = 1
+_NO_LEAF = -1
+
+
+class _Node:
+    """Decoded node contents."""
+
+    __slots__ = ("is_leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[int] = []
+        self.values: List[bytes] = []      # leaves only
+        self.children: List[PageId] = []   # internals only
+        self.next_leaf: PageId = _NO_LEAF
+
+    @classmethod
+    def decode(cls, payload: bytes, value_size: int) -> "_Node":
+        node_type, count, next_leaf = _HEADER.unpack_from(payload, 0)
+        node = cls(is_leaf=(node_type == _LEAF))
+        node.next_leaf = next_leaf
+        offset = _HEADER.size
+        for _ in range(count):
+            (key,) = _KEY.unpack_from(payload, offset)
+            node.keys.append(key)
+            offset += _KEY.size
+        if node.is_leaf:
+            for _ in range(count):
+                node.values.append(payload[offset:offset + value_size])
+                offset += value_size
+        else:
+            for _ in range(count + 1):
+                (child,) = _CHILD.unpack_from(payload, offset)
+                node.children.append(child)
+                offset += _CHILD.size
+        return node
+
+    def encode(self, value_size: int) -> bytes:
+        node_type = _LEAF if self.is_leaf else _INTERNAL
+        parts = [_HEADER.pack(node_type, len(self.keys), self.next_leaf)]
+        parts.extend(_KEY.pack(key) for key in self.keys)
+        if self.is_leaf:
+            if any(len(v) != value_size for v in self.values):
+                raise DatabaseError("leaf value of unexpected size")
+            parts.extend(self.values)
+        else:
+            parts.extend(_CHILD.pack(child) for child in self.children)
+        payload = b"".join(parts)
+        if len(payload) > PAGE_PAYLOAD_SIZE:
+            raise DatabaseError("B-tree node overflowed its page")
+        return payload
+
+
+class BPlusTree:
+    """A B+-tree mapping int64 keys to fixed-size byte values."""
+
+    def __init__(self, pool: BufferPool, value_size: int = 10,
+                 root_page_id: Optional[PageId] = None,
+                 max_leaf_keys: Optional[int] = None,
+                 max_internal_keys: Optional[int] = None) -> None:
+        if value_size <= 0:
+            raise ConfigurationError("value_size must be positive")
+        self.pool = pool
+        self.value_size = value_size
+
+        usable = PAGE_PAYLOAD_SIZE - _HEADER.size
+        leaf_capacity = usable // (_KEY.size + value_size)
+        internal_capacity = (usable - _CHILD.size) // (_KEY.size + _CHILD.size)
+        self.max_leaf_keys = (min(max_leaf_keys, leaf_capacity)
+                              if max_leaf_keys else leaf_capacity)
+        self.max_internal_keys = (min(max_internal_keys, internal_capacity)
+                                  if max_internal_keys else internal_capacity)
+        if self.max_leaf_keys < 2 or self.max_internal_keys < 2:
+            raise ConfigurationError("B-tree fan-out must be at least 2")
+
+        if root_page_id is None:
+            self.root_page_id = self.pool.disk.allocate()
+            self._write_node(self.root_page_id, _Node(is_leaf=True))
+        else:
+            self.root_page_id = root_page_id
+
+    # -- node I/O ------------------------------------------------------------------
+
+    def _read_node(self, page_id: PageId,
+                   kind: AccessKind = AccessKind.READ) -> _Node:
+        frame = self.pool.fetch(page_id, pin=True, kind=kind)
+        page = frame.page
+        assert page is not None
+        try:
+            node = _Node.decode(page.payload, self.value_size)
+        finally:
+            self.pool.unpin(page_id)
+        return node
+
+    def _write_node(self, page_id: PageId, node: _Node) -> None:
+        self.pool.fetch(page_id, pin=True, kind=AccessKind.WRITE)
+        self.pool.write_payload(page_id, node.encode(self.value_size))
+        self.pool.unpin(page_id, dirty=True)
+
+    # -- search -------------------------------------------------------------------
+
+    @staticmethod
+    def _child_index(node: _Node, key: int) -> int:
+        """Index of the child subtree that may contain ``key``."""
+        import bisect
+        return bisect.bisect_right(node.keys, key)
+
+    def _descend_to_leaf(self, key: int) -> Tuple[PageId, _Node, List[PageId]]:
+        """Walk root->leaf; returns (leaf page id, leaf node, path of internals)."""
+        path: List[PageId] = []
+        page_id = self.root_page_id
+        node = self._read_node(page_id)
+        while not node.is_leaf:
+            path.append(page_id)
+            page_id = node.children[self._child_index(node, key)]
+            node = self._read_node(page_id)
+        return page_id, node, path
+
+    def search(self, key: int) -> bytes:
+        """Exact-match lookup; raises RecordNotFoundError when absent."""
+        import bisect
+        _, leaf, _ = self._descend_to_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        raise RecordNotFoundError(key)
+
+    def contains(self, key: int) -> bool:
+        """Membership test via :meth:`search`."""
+        try:
+            self.search(key)
+            return True
+        except RecordNotFoundError:
+            return False
+
+    def range_scan(self, low: int, high: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield (key, value) for low <= key <= high, in key order."""
+        import bisect
+        if low > high:
+            return
+        page_id, leaf, _ = self._descend_to_leaf(low)
+        index = bisect.bisect_left(leaf.keys, low)
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            if leaf.next_leaf == _NO_LEAF:
+                return
+            page_id = leaf.next_leaf
+            leaf = self._read_node(page_id)
+            index = 0
+
+    def leaf_page_ids(self) -> List[PageId]:
+        """All leaf pages left to right (diagnostics / Example 1.1 setup)."""
+        page_id = self.root_page_id
+        node = self._read_node(page_id)
+        while not node.is_leaf:
+            page_id = node.children[0]
+            node = self._read_node(page_id)
+        leaves = [page_id]
+        while node.next_leaf != _NO_LEAF:
+            page_id = node.next_leaf
+            node = self._read_node(page_id)
+            leaves.append(page_id)
+        return leaves
+
+    # -- insertion -----------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes,
+               allow_update: bool = False) -> None:
+        """Insert a key/value pair, splitting as needed.
+
+        Duplicate keys raise :class:`DuplicateKeyError` unless
+        ``allow_update`` is set, in which case the value is replaced.
+        """
+        import bisect
+        if len(value) != self.value_size:
+            raise DatabaseError(
+                f"value must be exactly {self.value_size} bytes")
+        leaf_id, leaf, path = self._descend_to_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            if not allow_update:
+                raise DuplicateKeyError(key)
+            leaf.values[index] = value
+            self._write_node(leaf_id, leaf)
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        if len(leaf.keys) <= self.max_leaf_keys:
+            self._write_node(leaf_id, leaf)
+            return
+        # Rightmost-append optimization: when the overflow was caused by
+        # appending past the current maximum key AND this is the last leaf
+        # (monotone bulk load, Example 1.1's "packed full" pattern), keep
+        # the left node full and move only the new key right.
+        appended = (index == len(leaf.keys) - 1
+                    and leaf.next_leaf == _NO_LEAF)
+        self._split_leaf(leaf_id, leaf, path, packed=appended)
+
+    def _split_leaf(self, leaf_id: PageId, leaf: _Node,
+                    path: List[PageId], packed: bool = False) -> None:
+        middle = len(leaf.keys) - 1 if packed else len(leaf.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right_id = self.pool.disk.allocate()
+        leaf.next_leaf = right_id
+        self._write_node(right_id, right)
+        self._write_node(leaf_id, leaf)
+        self._insert_into_parent(leaf_id, right.keys[0], right_id, path)
+
+    def _insert_into_parent(self, left_id: PageId, separator: int,
+                            right_id: PageId, path: List[PageId]) -> None:
+        if not path:
+            # Split reached the root: grow the tree by one level.
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [left_id, right_id]
+            new_root_id = self.pool.disk.allocate()
+            self._write_node(new_root_id, new_root)
+            self.root_page_id = new_root_id
+            return
+        parent_id = path[-1]
+        parent = self._read_node(parent_id)
+        position = parent.children.index(left_id)
+        parent.keys.insert(position, separator)
+        parent.children.insert(position + 1, right_id)
+        if len(parent.keys) <= self.max_internal_keys:
+            self._write_node(parent_id, parent)
+            return
+        self._split_internal(parent_id, parent, path[:-1])
+
+    def _split_internal(self, node_id: PageId, node: _Node,
+                        path: List[PageId]) -> None:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        right_id = self.pool.disk.allocate()
+        self._write_node(right_id, right)
+        self._write_node(node_id, node)
+        self._insert_into_parent(node_id, separator, right_id, path)
+
+    # -- deletion (lazy) ---------------------------------------------------------------
+
+    def delete(self, key: int) -> None:
+        """Remove a key from its leaf (no rebalancing; see module docstring)."""
+        import bisect
+        leaf_id, leaf, _ = self._descend_to_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            raise RecordNotFoundError(key)
+        del leaf.keys[index]
+        del leaf.values[index]
+        self._write_node(leaf_id, leaf)
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Number of levels (1 = a lone leaf root)."""
+        levels = 1
+        node = self._read_node(self.root_page_id)
+        while not node.is_leaf:
+            levels += 1
+            node = self._read_node(node.children[0])
+        return levels
+
+    def __len__(self) -> int:
+        """Total keys (walks the leaf chain)."""
+        return sum(1 for _ in self.range_scan(-(2 ** 63), 2 ** 63 - 1))
+
+    def check_invariants(self) -> None:
+        """Validate key ordering and leaf chaining (test support)."""
+        previous = None
+        for key, _ in self.range_scan(-(2 ** 63), 2 ** 63 - 1):
+            if previous is not None and key <= previous:
+                raise DatabaseError(
+                    f"leaf chain out of order: {previous} before {key}")
+            previous = key

@@ -1,0 +1,136 @@
+"""The catalog: named database objects persisted on page 0.
+
+Maps object names to their anchor pages — a heap file's page list head, a
+B-tree's root. Serialized as a text directory on the database's first page
+so a database can be closed and reopened against the same simulated disk
+(the test suite exercises that round trip).
+
+Format (page 0 payload, ASCII):
+
+    repro-catalog v1
+    <name> <kind> <extent> [<extent> ...]
+
+where an extent is either a single page id (``17``) or an inclusive run
+(``2-2001``). Heap files allocate contiguously, so run-length encoding
+keeps even a 10,000-page table's entry within one catalog page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..buffer.pool import BufferPool
+from ..errors import DatabaseError
+from ..types import AccessKind, PageId
+
+_MAGIC = "repro-catalog v1"
+
+
+def _encode_extents(pages: List[PageId]) -> List[str]:
+    """Compress a page list into single-id and run extents."""
+    extents: List[str] = []
+    index = 0
+    while index < len(pages):
+        start = pages[index]
+        end = start
+        while index + 1 < len(pages) and pages[index + 1] == end + 1:
+            index += 1
+            end = pages[index]
+        extents.append(str(start) if start == end else f"{start}-{end}")
+        index += 1
+    return extents
+
+
+def _decode_extents(extents: List[str]) -> List[PageId]:
+    """Expand extents back into the page list."""
+    pages: List[PageId] = []
+    for extent in extents:
+        if "-" in extent:
+            start_text, end_text = extent.split("-", 1)
+            start, end = int(start_text), int(end_text)
+            if end < start:
+                raise DatabaseError(f"bad catalog extent {extent!r}")
+            pages.extend(range(start, end + 1))
+        else:
+            pages.append(int(extent))
+    return pages
+
+
+class Catalog:
+    """Name -> (kind, pages) directory stored on a fixed catalog page."""
+
+    def __init__(self, pool: BufferPool,
+                 catalog_page_id: PageId = 0) -> None:
+        self.pool = pool
+        self.catalog_page_id = catalog_page_id
+        self._entries: Dict[str, Tuple[str, List[PageId]]] = {}
+        if not pool.disk.is_allocated(catalog_page_id):
+            allocated = pool.disk.allocate()
+            if allocated != catalog_page_id:
+                raise DatabaseError(
+                    "catalog page must be the first allocation")
+            self.save()
+        else:
+            self.load()
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self) -> None:
+        """Serialize the directory to the catalog page."""
+        lines = [_MAGIC]
+        for name in sorted(self._entries):
+            kind, pages = self._entries[name]
+            if " " in name:
+                raise DatabaseError("object names cannot contain spaces")
+            lines.append(" ".join([name, kind] + _encode_extents(pages)))
+        payload = "\n".join(lines).encode("ascii")
+        self.pool.fetch(self.catalog_page_id, pin=True, kind=AccessKind.WRITE)
+        self.pool.write_payload(self.catalog_page_id, payload)
+        self.pool.unpin(self.catalog_page_id, dirty=True)
+
+    def load(self) -> None:
+        """Read the directory back from the catalog page."""
+        frame = self.pool.fetch(self.catalog_page_id, pin=True)
+        page = frame.page
+        assert page is not None
+        text = page.payload.decode("ascii")
+        self.pool.unpin(self.catalog_page_id)
+        lines = text.splitlines()
+        if not lines or lines[0] != _MAGIC:
+            raise DatabaseError("catalog page is corrupt or uninitialized")
+        entries: Dict[str, Tuple[str, List[PageId]]] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatabaseError(f"bad catalog line: {line!r}")
+            name, kind = parts[0], parts[1]
+            try:
+                pages = _decode_extents(parts[2:])
+            except ValueError:
+                raise DatabaseError(f"bad catalog line: {line!r}") from None
+            entries[name] = (kind, pages)
+        self._entries = entries
+
+    # -- directory operations ------------------------------------------------------------
+
+    def register(self, name: str, kind: str, pages: List[PageId]) -> None:
+        """Add or replace an object entry and persist immediately."""
+        self._entries[name] = (kind, list(pages))
+        self.save()
+
+    def lookup(self, name: str) -> Tuple[str, List[PageId]]:
+        """Fetch an object's (kind, pages); raises when unknown."""
+        try:
+            kind, pages = self._entries[name]
+        except KeyError:
+            raise DatabaseError(f"no catalog entry named {name!r}") from None
+        return kind, list(pages)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> List[str]:
+        """All registered object names, sorted."""
+        return sorted(self._entries)

@@ -1,0 +1,294 @@
+"""A CODASYL-style network database.
+
+The paper's Table 4.3 trace came from "the production OLTP system of a
+large bank ... a CODASYL database with a total size of 20 Gigabytes". The
+network (CODASYL DBTG) model differs from relational storage in ways that
+shape its page reference pattern, and this module implements those
+mechanisms at laptop scale so the synthetic trace generator rests on real
+behaviour:
+
+- **CALC location**: records are placed on a page determined by hashing
+  their key, and retrieved by recomputing the hash — one direct page
+  reference per lookup, no index traversal.
+- **VIA SET location / set chains**: member records are linked to their
+  owner in an embedded chain (owner record holds the first member RID,
+  each member holds the next). Navigation (``FIND NEXT WITHIN SET``)
+  follows RIDs record to record, touching one page per step.
+
+Record layout: every record is ``[id, next_rid_bytes, payload]`` encoded
+with :func:`~repro.db.record.encode_fields` and padded to its type's fixed
+size; chains are genuinely stored in the records, so navigation *must*
+read each record's page to find the next — exactly the navigational I/O
+of a real network database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..buffer.pool import BufferPool
+from ..errors import ConfigurationError, DatabaseError, RecordNotFoundError
+from ..stats import SeededRng
+from ..types import AccessKind, PageId
+from .record import RecordId, decode_fields, encode_fields
+from .slotted_page import SlottedPage
+
+#: Encoded RID placeholder meaning "end of chain".
+_NO_RID = b"\x00" * RecordId.encoded_size()
+
+
+@dataclass(frozen=True)
+class RecordType:
+    """A CODASYL record type with CALC or VIA placement."""
+
+    name: str
+    count: int
+    record_size: int = 120
+    #: "calc" = hashed placement (direct access); "via" = clustered near
+    #: its owner chain (sequential-ish placement in build order).
+    location_mode: str = "calc"
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(f"record type {self.name}: empty")
+        if self.record_size <= 40:
+            raise ConfigurationError(
+                f"record type {self.name}: record size too small for header")
+        if self.location_mode not in ("calc", "via"):
+            raise ConfigurationError(
+                f"record type {self.name}: unknown location mode")
+
+
+@dataclass(frozen=True)
+class SetType:
+    """A CODASYL set: owner record type -> chained member record type."""
+
+    name: str
+    owner: str
+    member: str
+
+
+@dataclass(frozen=True)
+class CodasylSchema:
+    """Record types plus set types."""
+
+    record_types: Sequence[RecordType]
+    set_types: Sequence[SetType]
+
+    def record_type(self, name: str) -> RecordType:
+        for record_type in self.record_types:
+            if record_type.name == name:
+                return record_type
+        raise ConfigurationError(f"unknown record type {name!r}")
+
+    def __post_init__(self) -> None:
+        names = {rt.name for rt in self.record_types}
+        if len(names) != len(self.record_types):
+            raise ConfigurationError("duplicate record type names")
+        for set_type in self.set_types:
+            if set_type.owner not in names or set_type.member not in names:
+                raise ConfigurationError(
+                    f"set {set_type.name!r} references unknown record types")
+
+
+class _TypeStorage:
+    """Page range + geometry of one record type."""
+
+    def __init__(self, record_type: RecordType, pages: List[PageId],
+                 per_page: int) -> None:
+        self.record_type = record_type
+        self.pages = pages
+        self.per_page = per_page
+
+    def rid_of(self, ordinal: int) -> RecordId:
+        """RID of the ordinal-th record of this type (build-order placement)."""
+        if not 0 <= ordinal < self.record_type.count:
+            raise RecordNotFoundError(
+                f"{self.record_type.name}[{ordinal}]")
+        return RecordId(page_id=self.pages[ordinal // self.per_page],
+                        slot=ordinal % self.per_page)
+
+
+class CodasylDatabase:
+    """A built network database with navigational operations."""
+
+    def __init__(self, pool: BufferPool, schema: CodasylSchema,
+                 seed: int = 0) -> None:
+        self.pool = pool
+        self.schema = schema
+        self._storage: Dict[str, _TypeStorage] = {}
+        # set name -> owner ordinal -> first member ordinal (in-record
+        # chains hold the rest; this map only seeds build-time wiring).
+        self._rng = SeededRng(seed)
+        self._build()
+
+    # -- construction -----------------------------------------------------------------
+
+    def _build(self) -> None:
+        for record_type in self.schema.record_types:
+            self._storage[record_type.name] = self._allocate_type(record_type)
+        # Wire chains: for each set, partition members round-robin among
+        # owners (randomized start so chains interleave pages), then embed
+        # next-RIDs into the member records and first-RIDs into owners.
+        chains: Dict[str, Dict[int, List[int]]] = {}
+        for set_type in self.schema.set_types:
+            owners = self.schema.record_type(set_type.owner).count
+            members = self.schema.record_type(set_type.member).count
+            assignment: Dict[int, List[int]] = {o: [] for o in range(owners)}
+            for member in range(members):
+                assignment[self._rng.randrange(owners)].append(member)
+            chains[set_type.name] = assignment
+        self._write_records(chains)
+
+    def _allocate_type(self, record_type: RecordType) -> _TypeStorage:
+        probe = SlottedPage()
+        per_page = 0
+        blank = b"\x00" * record_type.record_size
+        while probe.fits(blank):
+            probe.insert(blank)
+            per_page += 1
+        if per_page == 0:
+            raise ConfigurationError(
+                f"record type {record_type.name}: record larger than a page")
+        page_count = -(-record_type.count // per_page)  # ceil division
+        pages = [self.pool.disk.allocate() for _ in range(page_count)]
+        return _TypeStorage(record_type, pages, per_page)
+
+    def _write_records(self,
+                       chains: Dict[str, Dict[int, List[int]]]) -> None:
+        # Precompute, per record, its first/next chain pointers. A record
+        # type may participate in at most one set as owner and one as
+        # member (enough for the bank schema; asserted here).
+        first_of: Dict[str, Dict[int, RecordId]] = {}
+        next_of: Dict[str, Dict[int, RecordId]] = {}
+        for set_type in self.schema.set_types:
+            owner_first = first_of.setdefault(set_type.owner, {})
+            member_next = next_of.setdefault(set_type.member, {})
+            member_storage = self._storage[set_type.member]
+            for owner, members in chains[set_type.name].items():
+                if not members:
+                    continue
+                if owner in owner_first:
+                    raise DatabaseError(
+                        f"record type {set_type.owner} owns multiple sets; "
+                        "unsupported")
+                owner_first[owner] = member_storage.rid_of(members[0])
+                for position in range(len(members) - 1):
+                    member_next[members[position]] = member_storage.rid_of(
+                        members[position + 1])
+
+        for record_type in self.schema.record_types:
+            storage = self._storage[record_type.name]
+            firsts = first_of.get(record_type.name, {})
+            nexts = next_of.get(record_type.name, {})
+            if firsts and nexts:
+                raise DatabaseError(
+                    f"record type {record_type.name} is both a set owner "
+                    "and a set member; the single-pointer layout cannot "
+                    "store both chains")
+            ordinal = 0
+            for page_id in storage.pages:
+                slotted = SlottedPage()
+                for _ in range(storage.per_page):
+                    if ordinal >= record_type.count:
+                        break
+                    chain_rid = firsts.get(ordinal) or nexts.get(ordinal)
+                    encoded = encode_fields([
+                        ordinal,
+                        chain_rid.to_bytes() if chain_rid else _NO_RID,
+                        b"\x00" * 8,
+                    ])
+                    padded = encoded + b"\x00" * max(
+                        0, record_type.record_size - len(encoded))
+                    slotted.insert(padded)
+                    ordinal += 1
+                self.pool.fetch(page_id, pin=True, kind=AccessKind.WRITE)
+                self.pool.write_payload(page_id, slotted.to_payload())
+                self.pool.unpin(page_id, dirty=True)
+        self.pool.flush_all()
+
+    # -- access paths --------------------------------------------------------------------
+
+    def storage(self, type_name: str) -> _TypeStorage:
+        """Page geometry of a record type (used to seed workload models)."""
+        return self._storage[type_name]
+
+    def _read_record(self, rid: RecordId,
+                     kind: AccessKind = AccessKind.READ) -> List:
+        frame = self.pool.fetch(rid.page_id, pin=True, kind=kind)
+        page = frame.page
+        assert page is not None
+        try:
+            record = SlottedPage(page.payload).get(rid.slot)
+        finally:
+            self.pool.unpin(rid.page_id)
+        return decode_fields(record)
+
+    def find_calc(self, type_name: str, key: int) -> List:
+        """CALC retrieval: hash the key to its page, read the record."""
+        storage = self._storage[type_name]
+        return self._read_record(storage.rid_of(key % storage.record_type.count))
+
+    def walk_set(self, set_type_name: str, owner_ordinal: int,
+                 limit: Optional[int] = None) -> Iterator[List]:
+        """FIND NEXT WITHIN SET: owner record, then the member chain."""
+        set_type = self._set_type(set_type_name)
+        owner_storage = self._storage[set_type.owner]
+        member_count_bound = self.schema.record_type(set_type.member).count
+        owner_fields = self._read_record(owner_storage.rid_of(owner_ordinal))
+        chain = owner_fields[1]
+        steps = 0
+        while chain != _NO_RID:
+            if limit is not None and steps >= limit:
+                return
+            if steps > member_count_bound:
+                raise DatabaseError(
+                    f"cycle detected in set {set_type_name!r}")
+            rid = RecordId.from_bytes(chain)
+            fields = self._read_record(rid)
+            yield fields
+            chain = fields[1]
+            steps += 1
+
+    def update_record(self, type_name: str, ordinal: int) -> None:
+        """Dirty a record's page in place (balance-update style write)."""
+        storage = self._storage[type_name]
+        rid = storage.rid_of(ordinal)
+        frame = self.pool.fetch(rid.page_id, pin=True, kind=AccessKind.WRITE)
+        page = frame.page
+        assert page is not None
+        slotted = SlottedPage(page.payload)
+        record = slotted.get(rid.slot)
+        slotted.update(rid.slot, record)  # same bytes; the write is the point
+        self.pool.write_payload(rid.page_id, slotted.to_payload())
+        self.pool.unpin(rid.page_id, dirty=True)
+
+    def _set_type(self, name: str) -> SetType:
+        for set_type in self.schema.set_types:
+            if set_type.name == name:
+                return set_type
+        raise ConfigurationError(f"unknown set type {name!r}")
+
+
+def build_bank_database(pool: BufferPool,
+                        branches: int = 10,
+                        tellers: int = 100,
+                        accounts: int = 10_000,
+                        seed: int = 0) -> CodasylDatabase:
+    """The bank schema behind the Section 4.3 trace, at laptop scale.
+
+    BRANCH and TELLER are tiny CALC-placed hot types; ACCOUNT is a large
+    CALC type; the BRANCH-ACCOUNT set supports navigational statements.
+    """
+    schema = CodasylSchema(
+        record_types=[
+            RecordType("branch", count=branches, record_size=120),
+            RecordType("teller", count=tellers, record_size=120),
+            RecordType("account", count=accounts, record_size=120,
+                       location_mode="calc"),
+        ],
+        set_types=[SetType("branch_accounts", owner="branch",
+                           member="account")],
+    )
+    return CodasylDatabase(pool, schema, seed=seed)

@@ -1,0 +1,119 @@
+"""Heap files: unordered record storage over the buffer pool.
+
+A heap file owns a list of page ids; inserts go to the last page with
+space (allocating a new page when full), scans read every page in order —
+which is exactly the physical behaviour behind the paper's Example 1.2
+sequential scans. All page access flows through the buffer pool, so every
+heap-file operation contributes to the observable reference string.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..buffer.pool import BufferPool
+from ..errors import DatabaseError, PageOverflowError, RecordNotFoundError
+from ..types import AccessKind, PageId
+from .record import RecordId
+from .slotted_page import SlottedPage
+
+
+class HeapFile:
+    """An unordered collection of records across a chain of pages."""
+
+    def __init__(self, pool: BufferPool, name: str = "heap",
+                 page_ids: Optional[List[PageId]] = None) -> None:
+        self.pool = pool
+        self.name = name
+        self.page_ids: List[PageId] = list(page_ids) if page_ids else []
+        self._page_set = set(self.page_ids)
+
+    def _new_page(self) -> PageId:
+        page_id = self.pool.disk.allocate()
+        self.page_ids.append(page_id)
+        self._page_set.add(page_id)
+        return page_id
+
+    def _load(self, page_id: PageId,
+              kind: AccessKind = AccessKind.READ) -> SlottedPage:
+        frame = self.pool.fetch(page_id, pin=True, kind=kind)
+        page = frame.page
+        assert page is not None
+        return SlottedPage(page.payload)
+
+    def _store(self, page_id: PageId, slotted: SlottedPage) -> None:
+        self.pool.write_payload(page_id, slotted.to_payload())
+        self.pool.unpin(page_id, dirty=True)
+
+    # -- operations ---------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Append a record, returning its RID."""
+        if self.page_ids:
+            page_id = self.page_ids[-1]
+            slotted = self._load(page_id, AccessKind.WRITE)
+            if slotted.fits(record):
+                slot = slotted.insert(record)
+                self._store(page_id, slotted)
+                return RecordId(page_id=page_id, slot=slot)
+            self.pool.unpin(page_id)
+        page_id = self._new_page()
+        slotted = self._load(page_id, AccessKind.WRITE)
+        try:
+            slot = slotted.insert(record)
+        except PageOverflowError:
+            self.pool.unpin(page_id)
+            raise
+        self._store(page_id, slotted)
+        return RecordId(page_id=page_id, slot=slot)
+
+    def get(self, rid: RecordId) -> bytes:
+        """Fetch one record by RID."""
+        if rid.page_id not in self._page_set:
+            raise RecordNotFoundError(rid)
+        slotted = self._load(rid.page_id)
+        try:
+            record = slotted.get(rid.slot)
+        except DatabaseError:
+            raise RecordNotFoundError(rid) from None
+        finally:
+            self.pool.unpin(rid.page_id)
+        return record
+
+    def update(self, rid: RecordId, record: bytes) -> None:
+        """Rewrite a record in place (RID is preserved)."""
+        slotted = self._load(rid.page_id, AccessKind.WRITE)
+        try:
+            slotted.update(rid.slot, record)
+        except DatabaseError:
+            self.pool.unpin(rid.page_id)
+            raise
+        self._store(rid.page_id, slotted)
+
+    def delete(self, rid: RecordId) -> None:
+        """Tombstone a record."""
+        slotted = self._load(rid.page_id, AccessKind.WRITE)
+        try:
+            slotted.delete(rid.slot)
+        except DatabaseError:
+            self.pool.unpin(rid.page_id)
+            raise
+        self._store(rid.page_id, slotted)
+
+    def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
+        """Full sequential scan, page by page in file order."""
+        for page_id in self.page_ids:
+            slotted = self._load(page_id)
+            entries = list(slotted.records())
+            self.pool.unpin(page_id)
+            for slot, record in entries:
+                yield RecordId(page_id=page_id, slot=slot), record
+
+    def __len__(self) -> int:
+        """Count live records (performs a scan)."""
+        return sum(1 for _ in self.scan())
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the heap file occupies."""
+        return len(self.page_ids)

@@ -1,0 +1,185 @@
+"""A miniature pull-based query executor.
+
+The paper's Section 1.1 surveys "Query Execution Plan Analysis"
+approaches (Hot Set, DBMIN, hint passing) that derive buffer advice from
+operator trees — and argues they fail for multi-user mixes. To make that
+argument executable we need actual operator trees whose page access flows
+through the buffer manager. This module provides the classical iterator
+(Volcano-style) operators over the storage substrate:
+
+- :class:`SeqScan` — full heap-file scan (the Example 1.2 access pattern);
+- :class:`IndexLookup` — B-tree point access (the Example 1.1 pattern);
+- :class:`IndexRangeScan` — B-tree range + record fetches;
+- :class:`Filter`, :class:`Project`, :class:`Limit` — tuple-at-a-time
+  transformers.
+
+Every operator yields decoded field lists; all page I/O happens in the
+leaves through the buffer pool, so running a plan produces an honest
+reference string (capture it with a
+:class:`~repro.buffer.TraceRecorder`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import ConfigurationError, RecordNotFoundError
+from .btree import BPlusTree
+from .heap_file import HeapFile
+from .record import Field, RecordId, decode_fields
+
+#: A decoded tuple: the record's field list.
+Row = List[Field]
+
+
+class Operator(abc.ABC):
+    """A pull-based operator: iterate to execute."""
+
+    @abc.abstractmethod
+    def rows(self) -> Iterator[Row]:
+        """Produce the operator's output tuples."""
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def execute(self) -> List[Row]:
+        """Materialize the full result."""
+        return list(self.rows())
+
+
+class SeqScan(Operator):
+    """Scan every record of a heap file in physical order."""
+
+    def __init__(self, heap: HeapFile) -> None:
+        self.heap = heap
+
+    def rows(self) -> Iterator[Row]:
+        for _, record in self.heap.scan():
+            yield decode_fields(record)
+
+
+class IndexLookup(Operator):
+    """Exact-match key lookup: B-tree descent + record page fetch."""
+
+    def __init__(self, index: BPlusTree, heap: HeapFile, key: int,
+                 missing_ok: bool = False) -> None:
+        self.index = index
+        self.heap = heap
+        self.key = key
+        self.missing_ok = missing_ok
+
+    def rows(self) -> Iterator[Row]:
+        try:
+            rid = RecordId.from_bytes(self.index.search(self.key))
+        except RecordNotFoundError:
+            if self.missing_ok:
+                return
+            raise
+        yield decode_fields(self.heap.get(rid))
+
+
+class IndexRangeScan(Operator):
+    """Key-ordered range scan: leaf chain walk + record fetch per match."""
+
+    def __init__(self, index: BPlusTree, heap: HeapFile,
+                 low: int, high: int) -> None:
+        if low > high:
+            raise ConfigurationError("range scan needs low <= high")
+        self.index = index
+        self.heap = heap
+        self.low = low
+        self.high = high
+
+    def rows(self) -> Iterator[Row]:
+        for _, value in self.index.range_scan(self.low, self.high):
+            rid = RecordId.from_bytes(value)
+            yield decode_fields(self.heap.get(rid))
+
+
+class Filter(Operator):
+    """Keep rows satisfying a predicate."""
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[Row], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self) -> Iterator[Row]:
+        for row in self.child:
+            if self.predicate(row):
+                yield row
+
+
+class Project(Operator):
+    """Keep a subset of columns, by position."""
+
+    def __init__(self, child: Operator, columns: List[int]) -> None:
+        if not columns:
+            raise ConfigurationError("projection needs at least one column")
+        self.child = child
+        self.columns = columns
+
+    def rows(self) -> Iterator[Row]:
+        for row in self.child:
+            try:
+                yield [row[index] for index in self.columns]
+            except IndexError:
+                raise ConfigurationError(
+                    f"projection column out of range for row of "
+                    f"{len(row)} fields") from None
+
+
+class IndexNestedLoopJoin(Operator):
+    """Index nested-loop join: for each outer row, probe an inner index.
+
+    The classical plan whose page reference pattern stresses a buffer
+    manager most recognizably: the inner index's root/upper pages are
+    re-touched once per outer row (extremely hot), inner leaves are warm,
+    and outer pages stream by once — a three-temperature mix that LRU-K
+    separates and LRU-1 does not (it is Example 1.1's pattern with an
+    extra stratum).
+
+    ``outer_key`` selects the join column from the outer row; matches
+    yield ``outer_row + inner_row``. Rows without a match are dropped
+    (inner join).
+    """
+
+    def __init__(self, outer: Operator, inner_index: BPlusTree,
+                 inner_heap: HeapFile,
+                 outer_key: Callable[[Row], int]) -> None:
+        self.outer = outer
+        self.inner_index = inner_index
+        self.inner_heap = inner_heap
+        self.outer_key = outer_key
+
+    def rows(self) -> Iterator[Row]:
+        for outer_row in self.outer:
+            key = self.outer_key(outer_row)
+            try:
+                rid = RecordId.from_bytes(self.inner_index.search(key))
+            except RecordNotFoundError:
+                continue
+            inner_row = decode_fields(self.inner_heap.get(rid))
+            yield list(outer_row) + inner_row
+
+
+class Limit(Operator):
+    """Stop after ``count`` rows — plans that stop early also stop their
+    page references early, which matters for buffer studies."""
+
+    def __init__(self, child: Operator, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError("limit cannot be negative")
+        self.child = child
+        self.count = count
+
+    def rows(self) -> Iterator[Row]:
+        if self.count == 0:
+            return
+        produced = 0
+        for row in self.child:
+            yield row
+            produced += 1
+            if produced >= self.count:
+                return

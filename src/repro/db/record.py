@@ -1,0 +1,97 @@
+"""Records and record identifiers.
+
+A record is a byte string living in a slot of a slotted page; a
+:class:`RecordId` names it by ``(page_id, slot)``, the classical RID.
+Field encoding is a tiny length-prefixed format sufficient for the
+examples (integers and short strings), with round-trip helpers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from ..errors import DatabaseError
+from ..types import PageId
+
+Field = Union[int, str, bytes]
+
+_RID = struct.Struct("<qH")
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Physical record address: page id + slot number."""
+
+    page_id: PageId
+    slot: int
+
+    def to_bytes(self) -> bytes:
+        """10-byte fixed encoding (used as B-tree values)."""
+        return _RID.pack(self.page_id, self.slot)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RecordId":
+        if len(raw) != _RID.size:
+            raise DatabaseError(f"bad RecordId encoding of {len(raw)} bytes")
+        page_id, slot = _RID.unpack(raw)
+        return cls(page_id=page_id, slot=slot)
+
+    @classmethod
+    def encoded_size(cls) -> int:
+        """Size in bytes of the fixed encoding."""
+        return _RID.size
+
+
+# Field type tags.
+_TAG_INT = 0
+_TAG_STR = 1
+_TAG_BYTES = 2
+
+
+def encode_fields(fields: Sequence[Field]) -> bytes:
+    """Encode a heterogeneous field tuple into record bytes."""
+    parts = [struct.pack("<H", len(fields))]
+    for field in fields:
+        if isinstance(field, bool):
+            raise DatabaseError("boolean fields are not supported")
+        if isinstance(field, int):
+            parts.append(struct.pack("<Bq", _TAG_INT, field))
+        elif isinstance(field, str):
+            data = field.encode("utf-8")
+            parts.append(struct.pack("<BH", _TAG_STR, len(data)) + data)
+        elif isinstance(field, bytes):
+            parts.append(struct.pack("<BH", _TAG_BYTES, len(field)) + field)
+        else:
+            raise DatabaseError(f"unsupported field type {type(field).__name__}")
+    return b"".join(parts)
+
+
+def decode_fields(raw: bytes) -> List[Field]:
+    """Decode record bytes produced by :func:`encode_fields`."""
+    if len(raw) < 2:
+        raise DatabaseError("record too short for a field count")
+    (count,) = struct.unpack_from("<H", raw, 0)
+    offset = 2
+    fields: List[Field] = []
+    for _ in range(count):
+        if offset >= len(raw):
+            raise DatabaseError("record truncated")
+        tag = raw[offset]
+        offset += 1
+        if tag == _TAG_INT:
+            (value,) = struct.unpack_from("<q", raw, offset)
+            offset += 8
+            fields.append(value)
+        elif tag in (_TAG_STR, _TAG_BYTES):
+            (length,) = struct.unpack_from("<H", raw, offset)
+            offset += 2
+            data = raw[offset:offset + length]
+            if len(data) != length:
+                raise DatabaseError("record truncated inside a field")
+            offset += length
+            fields.append(data.decode("utf-8") if tag == _TAG_STR else data)
+        else:
+            raise DatabaseError(f"unknown field tag {tag}")
+    return fields

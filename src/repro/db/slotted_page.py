@@ -1,0 +1,187 @@
+"""Slotted pages: variable-length records inside a fixed page payload.
+
+Layout (within the page payload, which is
+:data:`repro.storage.page.PAGE_PAYLOAD_SIZE` bytes):
+
+    [ header | slot directory -> ...grows... | free | ...data grows <- ]
+
+- header: slot_count (H), data_start (H) — the offset where record data
+  begins (data is packed at the payload's tail, growing downward);
+- slot directory: per slot (offset H, length H); offset 0xFFFF marks a
+  deleted slot (tombstone), so RIDs of surviving records stay stable.
+
+The class operates on an in-memory ``bytearray``; callers read a page
+payload through the buffer pool, wrap it, mutate, then write the new
+payload back (marking the frame dirty). Compaction rewrites the data area
+in place when a deleted slot's space is needed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import DatabaseError, PageOverflowError
+from ..storage.page import PAGE_PAYLOAD_SIZE
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_TOMBSTONE = 0xFFFF
+
+
+class SlottedPage:
+    """A mutable view over one slotted page payload."""
+
+    def __init__(self, payload: bytes = b"",
+                 capacity: int = PAGE_PAYLOAD_SIZE) -> None:
+        if capacity < _HEADER.size + _SLOT.size:
+            raise DatabaseError("page capacity too small for slotted layout")
+        self.capacity = capacity
+        if payload:
+            buffer = bytearray(payload)
+            if len(buffer) < capacity:
+                buffer.extend(b"\x00" * (capacity - len(buffer)))
+            self._buffer = buffer
+            self._slot_count, self._data_start = _HEADER.unpack_from(buffer, 0)
+            if self._data_start == 0:
+                # Fresh zeroed payload: initialize.
+                self._data_start = capacity
+        else:
+            self._buffer = bytearray(capacity)
+            self._slot_count = 0
+            self._data_start = capacity
+
+    # -- geometry -----------------------------------------------------------------
+
+    def _slot_offset(self, slot: int) -> int:
+        return _HEADER.size + slot * _SLOT.size
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots ever allocated (including tombstones)."""
+        return self._slot_count
+
+    @property
+    def free_space(self) -> int:
+        """Contiguous bytes available for a new record + its slot entry."""
+        directory_end = self._slot_offset(self._slot_count)
+        return max(0, self._data_start - directory_end - _SLOT.size)
+
+    def fits(self, record: bytes) -> bool:
+        """True when inserting the record would succeed without compaction."""
+        return len(record) <= self.free_space
+
+    # -- record operations -----------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record; returns the slot number.
+
+        Reuses a tombstoned slot when one exists (the record data still
+        goes to the tail); raises :class:`PageOverflowError` when the
+        record cannot fit even after compaction.
+        """
+        if len(record) > self.capacity - _HEADER.size - _SLOT.size:
+            raise PageOverflowError(
+                f"record of {len(record)} bytes can never fit a page")
+        reuse = self._find_tombstone()
+        new_slots = self._slot_count + (0 if reuse is not None else 1)
+        directory_end = self._slot_offset(new_slots)
+        if self._data_start - len(record) < directory_end:
+            self._compact()
+        if self._data_start - len(record) < directory_end:
+            raise PageOverflowError("page full")
+
+        self._data_start -= len(record)
+        self._buffer[self._data_start:self._data_start + len(record)] = record
+        if reuse is not None:
+            slot = reuse
+        else:
+            slot = self._slot_count
+            self._slot_count += 1
+        _SLOT.pack_into(self._buffer, self._slot_offset(slot),
+                        self._data_start, len(record))
+        self._write_header()
+        return slot
+
+    def get(self, slot: int) -> bytes:
+        """Read the record in a slot; raises on tombstones/bad slots."""
+        offset, length = self._slot_entry(slot)
+        if offset == _TOMBSTONE:
+            raise DatabaseError(f"slot {slot} is deleted")
+        return bytes(self._buffer[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot; its data space is reclaimed on compaction."""
+        offset, _ = self._slot_entry(slot)
+        if offset == _TOMBSTONE:
+            raise DatabaseError(f"slot {slot} already deleted")
+        _SLOT.pack_into(self._buffer, self._slot_offset(slot), _TOMBSTONE, 0)
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace a record in place (same slot number)."""
+        offset, length = self._slot_entry(slot)
+        if offset == _TOMBSTONE:
+            raise DatabaseError(f"slot {slot} is deleted")
+        if len(record) <= length:
+            self._buffer[offset:offset + len(record)] = record
+            _SLOT.pack_into(self._buffer, self._slot_offset(slot),
+                            offset, len(record))
+            return
+        # Grow: tombstone + reinsert into the same slot id.
+        _SLOT.pack_into(self._buffer, self._slot_offset(slot), _TOMBSTONE, 0)
+        self._compact()
+        directory_end = self._slot_offset(self._slot_count)
+        if self._data_start - len(record) < directory_end:
+            raise PageOverflowError("updated record no longer fits the page")
+        self._data_start -= len(record)
+        self._buffer[self._data_start:self._data_start + len(record)] = record
+        _SLOT.pack_into(self._buffer, self._slot_offset(slot),
+                        self._data_start, len(record))
+        self._write_header()
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield (slot, record) for every live slot, in slot order."""
+        for slot in range(self._slot_count):
+            offset, length = self._slot_entry(slot)
+            if offset != _TOMBSTONE:
+                yield slot, bytes(self._buffer[offset:offset + length])
+
+    @property
+    def live_records(self) -> int:
+        """Number of non-deleted slots."""
+        return sum(1 for _ in self.records())
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_payload(self) -> bytes:
+        """The page payload bytes to hand back to the buffer pool."""
+        self._write_header()
+        return bytes(self._buffer)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        _HEADER.pack_into(self._buffer, 0, self._slot_count, self._data_start)
+
+    def _slot_entry(self, slot: int) -> Tuple[int, int]:
+        if not 0 <= slot < self._slot_count:
+            raise DatabaseError(f"slot {slot} out of range")
+        return _SLOT.unpack_from(self._buffer, self._slot_offset(slot))
+
+    def _find_tombstone(self) -> Optional[int]:
+        for slot in range(self._slot_count):
+            offset, _ = _SLOT.unpack_from(self._buffer, self._slot_offset(slot))
+            if offset == _TOMBSTONE:
+                return slot
+        return None
+
+    def _compact(self) -> None:
+        """Repack live records at the tail, dropping dead space."""
+        live: List[Tuple[int, bytes]] = list(self.records())
+        self._data_start = self.capacity
+        for slot, record in live:
+            self._data_start -= len(record)
+            self._buffer[self._data_start:self._data_start + len(record)] = record
+            _SLOT.pack_into(self._buffer, self._slot_offset(slot),
+                            self._data_start, len(record))
+        self._write_header()

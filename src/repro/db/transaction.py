@@ -1,0 +1,134 @@
+"""Transactions, processes, aborts, and retries.
+
+The paper's Section 2.1.1 taxonomy of correlated reference pairs is
+defined in terms of transactions and processes: intra-transaction
+re-reads, transaction retry after abort, and intra-process access to the
+same page by consecutive transactions. This module provides just enough
+transactional machinery to *generate* those patterns honestly:
+
+- :class:`Transaction` — carries ids, records the page-level accesses its
+  operations performed, commits or aborts;
+- :class:`TransactionManager` — issues transaction ids per process,
+  injects aborts with a seeded probability, and implements retry by
+  replaying a transaction body until it commits.
+
+There is no concurrency control or recovery here (the paper's algorithm
+is orthogonal to both); aborts are injected faults whose only observable
+effect is the retried reference pattern — precisely the effect LRU-K's
+Correlated Reference Period is designed to discount.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from ..errors import TransactionAborted, TransactionError
+from ..stats import SeededRng
+from ..types import PageId
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work issued by a process."""
+
+    def __init__(self, txn_id: int, process_id: int) -> None:
+        self.txn_id = txn_id
+        self.process_id = process_id
+        self.state = TxnState.ACTIVE
+        self.pages_touched: List[PageId] = []
+
+    def touch(self, page_id: PageId) -> None:
+        """Record a page access made on behalf of this transaction."""
+        self._require_active()
+        self.pages_touched.append(page_id)
+
+    def commit(self) -> None:
+        """Finish successfully."""
+        self._require_active()
+        self.state = TxnState.COMMITTED
+
+    def abort(self) -> None:
+        """Roll back (bookkeeping only; callers replay for retry)."""
+        self._require_active()
+        self.state = TxnState.ABORTED
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} already {self.state.value}")
+
+
+#: A transaction body: receives the transaction, performs work, may raise
+#: TransactionAborted (injected or its own) to trigger a retry.
+TxnBody = Callable[[Transaction], None]
+
+
+class TransactionManager:
+    """Issues transactions and replays aborted ones.
+
+    Parameters
+    ----------
+    abort_probability:
+        Chance that a transaction is aborted by an injected fault at a
+        random point of its body — producing the paper's type-(2)
+        Transaction-Retry correlated references on replay.
+    max_retries:
+        Safety bound on replays of one body.
+    """
+
+    def __init__(self, abort_probability: float = 0.0, seed: int = 0,
+                 max_retries: int = 5) -> None:
+        if not 0.0 <= abort_probability < 1.0:
+            raise TransactionError("abort probability must lie in [0, 1)")
+        if max_retries < 0:
+            raise TransactionError("max_retries cannot be negative")
+        self.abort_probability = abort_probability
+        self.max_retries = max_retries
+        self._rng = SeededRng(seed)
+        self._next_txn_id = 1
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self, process_id: int = 0) -> Transaction:
+        """Start a new transaction for a process."""
+        txn = Transaction(self._next_txn_id, process_id)
+        self._next_txn_id += 1
+        return txn
+
+    def should_inject_abort(self) -> bool:
+        """Fault-injection coin flip (exposed for workload generators)."""
+        return self._rng.random() < self.abort_probability
+
+    def run(self, body: TxnBody, process_id: int = 0) -> Transaction:
+        """Execute a body to commit, replaying after (injected) aborts.
+
+        The body may consult ``txn`` and must be replayable — exactly the
+        property real retry loops require.
+        """
+        attempts = 0
+        while True:
+            txn = self.begin(process_id)
+            inject = self.should_inject_abort()
+            try:
+                body(txn)
+                if inject:
+                    raise TransactionAborted(
+                        f"injected abort of txn {txn.txn_id}")
+            except TransactionAborted:
+                txn.abort()
+                self.aborted += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                continue
+            txn.commit()
+            self.committed += 1
+            return txn

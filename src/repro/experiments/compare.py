@@ -1,0 +1,113 @@
+"""Paper-vs-measured comparison utilities.
+
+Per the reproduction charter (DESIGN.md §5), we assert the *shape* of each
+table — who wins, by roughly what factor, where the curves converge — not
+third-decimal equality with a 1993 RNG. :func:`comparison_table` renders
+the side-by-side numbers for EXPERIMENTS.md; :func:`shape_check` encodes
+the acceptance criteria as machine-checkable predicates used by the
+integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim import ExperimentResult, Table
+from .paper_data import PaperRow
+
+
+def comparison_table(result: ExperimentResult,
+                     paper_rows: Sequence[PaperRow]) -> Table:
+    """Side-by-side measured vs published hit ratios per (B, policy)."""
+    paper_by_capacity = {row.capacity: row for row in paper_rows}
+    labels = [spec.label for spec in result.spec.policies
+              if any(spec.label in row.hit_ratios for row in paper_rows)]
+    columns = ["B"]
+    for label in labels:
+        columns.extend([f"{label} (paper)", f"{label} (ours)"])
+    columns.extend(["B-ratio (paper)", "B-ratio (ours)"])
+    table = Table(
+        title=f"{result.spec.name} — paper vs measured",
+        columns=columns)
+    for cell in result.cells:
+        paper_row = paper_by_capacity.get(cell.capacity)
+        row: List = [cell.capacity]
+        for label in labels:
+            row.append(paper_row.hit_ratios.get(label) if paper_row else None)
+            row.append(cell.hit_ratio(label))
+        row.append(paper_row.equi_effective if paper_row else None)
+        row.append(result.equi_effective_ratios.get(cell.capacity))
+        table.add_row(*row)
+    return table
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of the acceptance-criteria evaluation for one experiment."""
+
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+
+    def require(self, condition: bool, message: str) -> None:
+        """Record one criterion."""
+        if not condition:
+            self.passed = False
+            self.failures.append(message)
+
+
+def shape_check(result: ExperimentResult,
+                ordering: Sequence[str],
+                min_gap_at: Optional[Tuple[int, str, str, float]] = None,
+                converges_at: Optional[Tuple[int, str, str, float]] = None
+                ) -> ShapeCheck:
+    """Check qualitative table shape.
+
+    Parameters
+    ----------
+    ordering:
+        Policy labels from worst to best; every capacity row must respect
+        ``hit(earlier) <= hit(later) + slack``.
+    min_gap_at:
+        ``(capacity, loser, winner, min_gap)`` — at the given row the
+        winner must beat the loser by at least ``min_gap``.
+    converges_at:
+        ``(capacity, a, b, max_gap)`` — at the given row the two policies
+        must agree within ``max_gap`` (the "differences become
+        insignificant at large B" claim).
+    """
+    if len(ordering) < 2:
+        raise ConfigurationError("ordering needs at least two policies")
+    check = ShapeCheck(passed=True)
+    slack = 0.02  # simulation noise allowance on a hit ratio
+    for cell in result.cells:
+        for worse, better in zip(ordering, ordering[1:]):
+            check.require(
+                cell.hit_ratio(worse) <= cell.hit_ratio(better) + slack,
+                f"B={cell.capacity}: expected {worse} <= {better} but "
+                f"{cell.hit_ratio(worse):.3f} > {cell.hit_ratio(better):.3f}")
+    if min_gap_at is not None:
+        capacity, loser, winner, min_gap = min_gap_at
+        cell = _cell_at(result, capacity)
+        gap = cell.hit_ratio(winner) - cell.hit_ratio(loser)
+        check.require(
+            gap >= min_gap,
+            f"B={capacity}: expected {winner} to beat {loser} by >= "
+            f"{min_gap:.3f}, got {gap:.3f}")
+    if converges_at is not None:
+        capacity, a, b, max_gap = converges_at
+        cell = _cell_at(result, capacity)
+        gap = abs(cell.hit_ratio(a) - cell.hit_ratio(b))
+        check.require(
+            gap <= max_gap,
+            f"B={capacity}: expected {a} and {b} within {max_gap:.3f}, "
+            f"got {gap:.3f}")
+    return check
+
+
+def _cell_at(result: ExperimentResult, capacity: int):
+    for cell in result.cells:
+        if cell.capacity == capacity:
+            return cell
+    raise ConfigurationError(f"no row with B={capacity}")

@@ -1,0 +1,103 @@
+"""The paper's published evaluation numbers, transcribed verbatim.
+
+Tables 4.1-4.3 of O'Neil, O'Neil & Weikum (SIGMOD 1993). Used by the
+comparison utilities and EXPERIMENTS.md generation to report
+paper-vs-measured for every row, and by the test suite's shape checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of a published table: hit ratios by policy + B(1)/B(2)."""
+
+    capacity: int
+    hit_ratios: Dict[str, float]
+    equi_effective: Optional[float]
+
+    def ratio(self, label: str) -> float:
+        """Published hit ratio for a policy column."""
+        return self.hit_ratios[label]
+
+
+def _rows(columns: Tuple[str, ...], data) -> Tuple[PaperRow, ...]:
+    rows = []
+    for entry in data:
+        capacity = entry[0]
+        ratios = dict(zip(columns, entry[1:-1]))
+        rows.append(PaperRow(capacity=capacity, hit_ratios=ratios,
+                             equi_effective=entry[-1]))
+    return tuple(rows)
+
+
+#: Table 4.1 — two-pool experiment, N1=100, N2=10,000.
+PAPER_TABLE_4_1 = _rows(
+    ("LRU-1", "LRU-2", "LRU-3", "A0"),
+    [
+        (60, 0.14, 0.291, 0.300, 0.300, 2.3),
+        (80, 0.18, 0.382, 0.400, 0.400, 2.6),
+        (100, 0.22, 0.459, 0.495, 0.500, 3.0),
+        (120, 0.26, 0.496, 0.501, 0.501, 3.3),
+        (140, 0.29, 0.502, 0.502, 0.502, 3.2),
+        (160, 0.32, 0.503, 0.503, 0.503, 2.8),
+        (180, 0.34, 0.504, 0.504, 0.504, 2.5),
+        (200, 0.37, 0.505, 0.505, 0.505, 2.3),
+        (250, 0.42, 0.508, 0.508, 0.508, 2.2),
+        (300, 0.45, 0.510, 0.510, 0.510, 2.0),
+        (350, 0.48, 0.513, 0.513, 0.513, 1.9),
+        (400, 0.49, 0.515, 0.515, 0.515, 1.9),
+        (450, 0.50, 0.517, 0.518, 0.518, 1.8),
+    ],
+)
+
+#: Table 4.2 — Zipfian random access, N=1000, alpha=0.8, beta=0.2.
+PAPER_TABLE_4_2 = _rows(
+    ("LRU-1", "LRU-2", "A0"),
+    [
+        (40, 0.53, 0.61, 0.640, 2.0),
+        (60, 0.57, 0.65, 0.677, 2.2),
+        (80, 0.61, 0.67, 0.705, 2.1),
+        (100, 0.63, 0.68, 0.727, 1.6),
+        (120, 0.64, 0.71, 0.745, 1.5),
+        (140, 0.67, 0.72, 0.761, 1.4),
+        (160, 0.70, 0.74, 0.776, 1.5),
+        (180, 0.71, 0.73, 0.788, 1.2),
+        (200, 0.72, 0.76, 0.825, 1.3),
+        (300, 0.78, 0.80, 0.846, 1.1),
+        (500, 0.87, 0.87, 0.908, 1.0),
+    ],
+)
+
+#: Table 4.3 — OLTP trace experiment (one-hour bank trace, ~470k refs).
+PAPER_TABLE_4_3 = _rows(
+    ("LRU-1", "LRU-2", "LFU"),
+    [
+        (100, 0.005, 0.07, 0.07, 4.5),
+        (200, 0.01, 0.15, 0.11, 3.25),
+        (300, 0.02, 0.20, 0.15, 3.0),
+        (400, 0.06, 0.23, 0.17, 2.75),
+        (500, 0.09, 0.24, 0.19, 2.4),
+        (600, 0.13, 0.25, 0.20, 2.16),
+        (800, 0.18, 0.28, 0.23, 1.9),
+        (1000, 0.22, 0.29, 0.25, 1.6),
+        (1200, 0.24, 0.31, 0.27, 1.66),
+        (1400, 0.26, 0.33, 0.30, 1.5),
+        (1600, 0.29, 0.34, 0.31, 1.5),
+        (2000, 0.31, 0.36, 0.33, 1.3),
+        (3000, 0.38, 0.40, 0.39, 1.1),
+        (5000, 0.46, 0.47, 0.44, 1.05),
+    ],
+)
+
+#: Trace statistics the paper reports for the Section 4.3 workload.
+PAPER_TRACE_STATS = {
+    "references": 470_000,
+    "top_3pct_mass": 0.40,
+    "top_65pct_mass": 0.90,
+    "five_minute_pages": 1400,
+    "five_minute_window_references": 13_000,
+}

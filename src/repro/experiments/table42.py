@@ -1,0 +1,51 @@
+"""Experiment spec for Table 4.2 — Zipfian random access (Section 4.2).
+
+Workload: N=1000 pages, self-similar Zipfian skew with alpha=0.8,
+beta=0.2 (the 80-20 rule). Policies: LRU-1, LRU-2, A0. The paper does not
+state this experiment's protocol lengths; we reuse the Section 4.1
+convention scaled to the page count (drop 10*N, measure 30*N), which
+reaches the same quasi-stable regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..sim import ExperimentSpec, PolicySpec
+from ..workloads import ZipfianWorkload
+
+#: The paper's buffer-size rows.
+TABLE_4_2_CAPACITIES = (40, 60, 80, 100, 120, 140, 160, 180, 200, 300, 500)
+
+
+def table_4_2_spec(scale: float = 1.0,
+                   n: int = 1000,
+                   alpha: float = 0.8,
+                   beta: float = 0.2,
+                   capacities: Optional[Sequence[int]] = None,
+                   repetitions: int = 3,
+                   seed: int = 0,
+                   include_equi_effective: bool = True) -> ExperimentSpec:
+    """Build the Table 4.2 experiment."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    workload = ZipfianWorkload(n=n, alpha=alpha, beta=beta)
+    if capacities is None:
+        capacities = list(TABLE_4_2_CAPACITIES)
+    return ExperimentSpec(
+        name=f"Table 4.2 — Zipfian random access "
+             f"(N={n}, {alpha:.0%}/{beta:.0%} skew, scale={scale:g})",
+        workload=workload,
+        policies=[PolicySpec.lru(), PolicySpec.lruk(2), PolicySpec.a0()],
+        capacities=list(capacities),
+        warmup=int(10 * n * scale),
+        measured=int(30 * n * scale),
+        seed=seed,
+        repetitions=repetitions,
+        equi_effective=(("LRU-1", "LRU-2") if include_equi_effective
+                        else None),
+        equi_effective_high=max(max(capacities) * 4, n),
+        caption=("Simulation results of random access with Zipfian "
+                 "frequencies; compare paper Table 4.2."),
+    )

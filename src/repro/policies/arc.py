@@ -1,0 +1,145 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+The most prominent member of the LRU-K lineage: like LRU-2 it distinguishes
+pages seen once from pages seen at least twice recently, and like LRU-K it
+keeps history (ghost lists B1/B2) for non-resident pages; unlike either it
+continuously *adapts* the split between its recency list T1 and frequency
+list T2. Included as an extension for the lineage benchmark (A8).
+
+Implementation notes
+--------------------
+ARC is specified as an integrated cache algorithm (its REPLACE step is
+interleaved with ghost-list case analysis), while our drivers own
+residency. The adaptation of the target size ``p`` happens in
+``on_admit`` — where ghost hits are visible — and ``choose_victim``
+evaluates the REPLACE rule against the current ``p``. The externally
+observable decisions match the canonical formulation; the unit tests
+replay the published worked examples.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("arc")
+class ARCPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache over the event-driven policy protocol."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("ARC needs the buffer capacity up front")
+        self.capacity = capacity
+        self._t1: "OrderedDict[PageId, None]" = OrderedDict()  # seen once
+        self._t2: "OrderedDict[PageId, None]" = OrderedDict()  # seen >= twice
+        self._b1: "OrderedDict[PageId, None]" = OrderedDict()  # ghosts of T1
+        self._b2: "OrderedDict[PageId, None]" = OrderedDict()  # ghosts of T2
+        self._p = 0.0  # adaptive target size of T1
+        self._last_victim_from_t1: Optional[bool] = None
+
+    # -- protocol --------------------------------------------------------------
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        # Case I: hit in T1 or T2 -> move to MRU of T2.
+        if page in self._t1:
+            del self._t1[page]
+            self._t2[page] = None
+        else:
+            self._t2.move_to_end(page)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        c = float(self.capacity)
+        if page in self._b1:
+            # Case II: ghost hit in B1 -> grow T1's target, admit into T2.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(c, self._p + delta)
+            del self._b1[page]
+            self._t2[page] = None
+        elif page in self._b2:
+            # Case III: ghost hit in B2 -> shrink T1's target, admit into T2.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[page]
+            self._t2[page] = None
+        else:
+            # Case IV: brand-new page -> admit into T1; trim ghost lists per
+            # the published cases (|L1| = c -> drop B1 LRU; |L1|+|L2| = 2c
+            # -> drop B2 LRU).
+            l1 = len(self._t1) + len(self._b1)
+            total = l1 + len(self._t2) + len(self._b2)
+            if l1 >= self.capacity and self._b1:
+                self._b1.popitem(last=False)
+            elif total >= 2 * self.capacity and self._b2:
+                self._b2.popitem(last=False)
+            self._t1[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        if page in self._t1:
+            del self._t1[page]
+            self._b1[page] = None
+            self._trim_ghosts()
+        elif page in self._t2:
+            del self._t2[page]
+            self._b2[page] = None
+            self._trim_ghosts()
+
+    def _trim_ghosts(self) -> None:
+        while len(self._b1) > self.capacity:
+            self._b1.popitem(last=False)
+        while len(self._b1) + len(self._b2) > 2 * self.capacity:
+            if self._b2:
+                self._b2.popitem(last=False)
+            else:
+                self._b1.popitem(last=False)
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        # REPLACE(p): evict T1's LRU when |T1| exceeds the target p (or,
+        # in the xB2 refinement, when |T1| == p and the miss hit in B2);
+        # otherwise evict T2's LRU.
+        incoming_in_b2 = incoming is not None and incoming in self._b2
+        t1_len = len(self._t1)
+        prefer_t1 = t1_len > 0 and (
+            t1_len > self._p or (incoming_in_b2 and t1_len == int(self._p)))
+        queues = (self._t1, self._t2) if prefer_t1 else (self._t2, self._t1)
+        for queue in queues:
+            for page in queue:
+                if page not in exclude:
+                    return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def reset(self) -> None:
+        super().reset()
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._p = 0.0
+
+    # -- diagnostics ------------------------------------------------------------
+
+    @property
+    def target_t1(self) -> float:
+        """The adaptive target size p of the recency list T1."""
+        return self._p
+
+    @property
+    def recency_pages(self) -> FrozenSet[PageId]:
+        """Resident pages seen exactly once recently (T1)."""
+        return frozenset(self._t1)
+
+    @property
+    def frequency_pages(self) -> FrozenSet[PageId]:
+        """Resident pages seen at least twice recently (T2)."""
+        return frozenset(self._t2)

@@ -1,0 +1,107 @@
+"""Belady's OPT (B0) — optimal replacement with a future oracle.
+
+[BELADY] "assumes complete knowledge of a specific reference string omega,
+and takes the strategy of retaining in memory those pages that will be
+re-referenced again the shortest time in the future" (paper Section 3).
+The paper argues B0 is "unapproachable in real situations" and uses A0 as
+the practical yardstick; we implement B0 anyway because it bounds every
+table from above and anchors property tests (no policy may beat OPT).
+
+Usage contract: call :meth:`prepare` with the exact page-id sequence the
+simulator will drive, *before* the run. The policy then expects to observe
+reference ``trace[t-1]`` at time ``t`` (1-based), which is what
+:class:`repro.sim.CacheSimulator` guarantees.
+
+Implementation: a single preprocessing pass builds ``next_use[t]`` = the
+subscript of the next occurrence of the page referenced at ``t`` (or
++infinity). At access time the resident page's key in a lazy max-heap is
+updated to its next use; the victim is the resident page whose next use is
+farthest away. Total cost O(T log B).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import NoEvictableFrameError, OracleError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+#: Sentinel "never referenced again".
+NEVER = float("inf")
+
+
+@register_policy("opt")
+class BeladyPolicy(ReplacementPolicy):
+    """Belady's optimal algorithm (B0), requiring the full future."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trace: Optional[Sequence[PageId]] = None
+        self._next_use_at: List[float] = []
+        self._next_use: Dict[PageId, float] = {}
+        # Max-heap via negated keys: (-next_use, page).
+        self._heap: List[Tuple[float, PageId]] = []
+
+    def prepare(self, trace: Sequence[PageId]) -> None:
+        """Precompute next-occurrence links for the given reference string."""
+        self._trace = list(trace)
+        length = len(self._trace)
+        self._next_use_at = [NEVER] * length
+        last_seen: Dict[PageId, int] = {}
+        for index in range(length - 1, -1, -1):
+            page = self._trace[index]
+            future = last_seen.get(page)
+            self._next_use_at[index] = NEVER if future is None else future + 1
+            last_seen[page] = index
+
+    def _observe(self, page: PageId, now: int) -> None:
+        if self._trace is None:
+            raise OracleError("BeladyPolicy.prepare(trace) was never called")
+        index = now - 1
+        if index >= len(self._trace) or self._trace[index] != page:
+            raise OracleError(
+                f"reference at t={now} does not match the prepared trace")
+        next_use = self._next_use_at[index]
+        self._next_use[page] = next_use
+        heapq.heappush(self._heap, (-next_use, page))
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        self._observe(page, now)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._observe(page, now)
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        del self._next_use[page]
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        skipped: List[Tuple[float, PageId]] = []
+        victim: Optional[PageId] = None
+        while self._heap:
+            neg_next, page = heapq.heappop(self._heap)
+            if self._next_use.get(page) != -neg_next:
+                continue  # stale: evicted or key advanced by a later access
+            skipped.append((neg_next, page))
+            if page in exclude:
+                continue
+            victim = page
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        if victim is None:
+            raise NoEvictableFrameError("all resident pages are excluded")
+        return victim
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_use.clear()
+        self._heap.clear()
+        # The prepared trace survives reset so a fresh identical run works.

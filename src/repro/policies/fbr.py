@@ -1,0 +1,164 @@
+"""FBR — Frequency-Based Replacement (Robinson & Devarakonda [ROBDEV]).
+
+The paper cites this algorithm directly: its "Factoring out Locality"
+section is where the Time-Out Correlation idea of Section 2.1.1 "is not
+new". FBR is the count-based way of discounting correlated references:
+
+- the LRU stack is divided into a **new** section (top), a **middle**,
+  and an **old** section (bottom);
+- a hit on a page in the *new* section does **not** increment its
+  reference count — bursts of re-references to a just-used page are
+  locality, not popularity (the analogue of LRU-K's CRP);
+- the victim is the page with the smallest count within the *old*
+  section, ties broken by recency;
+- counts are periodically halved once the average count exceeds a
+  threshold, bounding the past's influence (the aging knob the paper's
+  Section 1.2 groups with GCLOCK/LRD).
+
+The stack is materialized as three ordered segments with O(1) promotion
+and demotion, so every operation is constant-time (amortized; the aging
+sweep is O(B) and bounded by the count growth rate).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError, PolicyError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("fbr")
+class FBRPolicy(ReplacementPolicy):
+    """Frequency-Based Replacement with new/middle/old sections."""
+
+    def __init__(self, capacity: int,
+                 new_fraction: float = 0.25,
+                 old_fraction: float = 0.25,
+                 average_count_limit: float = 4.0) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("FBR needs the buffer capacity")
+        if not 0.0 < new_fraction < 1.0 or not 0.0 < old_fraction < 1.0:
+            raise ConfigurationError("section fractions must lie in (0, 1)")
+        if new_fraction + old_fraction >= 1.0:
+            raise ConfigurationError(
+                "new + old sections must leave room for the middle")
+        if average_count_limit <= 1.0:
+            raise ConfigurationError("average_count_limit must exceed 1")
+        self.capacity = capacity
+        self.new_size = max(1, int(capacity * new_fraction))
+        self.old_size = max(1, int(capacity * old_fraction))
+        # Each segment is LRU-ordered: first item = LRU end.
+        self._new: "OrderedDict[PageId, None]" = OrderedDict()
+        self._middle: "OrderedDict[PageId, None]" = OrderedDict()
+        self._old: "OrderedDict[PageId, None]" = OrderedDict()
+        self._count: Dict[PageId, int] = {}
+        self._count_total = 0  # running sum, keeps aging checks O(1)
+        self.average_count_limit = average_count_limit
+
+    # -- section bookkeeping ------------------------------------------------------
+
+    def section_of(self, page: PageId) -> str:
+        """Which section a resident page currently occupies."""
+        if page in self._new:
+            return "new"
+        if page in self._middle:
+            return "middle"
+        if page in self._old:
+            return "old"
+        raise ConfigurationError(f"page {page} is not resident")
+
+    def _rebalance(self) -> None:
+        """Demote LRU overflow: new -> middle -> old."""
+        while len(self._new) > self.new_size:
+            page, _ = self._new.popitem(last=False)
+            self._middle[page] = None
+        middle_cap = max(0, len(self._resident) - self.new_size
+                         - self.old_size)
+        while len(self._middle) > middle_cap:
+            page, _ = self._middle.popitem(last=False)
+            self._old[page] = None
+
+    def _remove(self, page: PageId) -> str:
+        for name, segment in (("new", self._new), ("middle", self._middle),
+                              ("old", self._old)):
+            if page in segment:
+                del segment[page]
+                return name
+        raise PolicyError(f"page {page} missing from all FBR sections")
+
+    # -- protocol ---------------------------------------------------------------------
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        section = self._remove(page)
+        if section != "new":
+            # Only non-new hits count: locality is factored out.
+            self._count[page] = self._count.get(page, 1) + 1
+            self._count_total += 1
+            self._maybe_age()
+        self._new[page] = None  # MRU of the new section
+        self._rebalance()
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._count[page] = 1
+        self._count_total += 1
+        self._new[page] = None
+        self._rebalance()
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        self._remove(page)
+        self._count_total -= self._count.pop(page)
+        self._rebalance()
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        # Least-count page in the old section, ties to the LRU end.
+        victim: Optional[PageId] = None
+        best_count: Optional[int] = None
+        for page in self._old:  # LRU end first
+            if page in exclude:
+                continue
+            count = self._count[page]
+            if best_count is None or count < best_count:
+                best_count = count
+                victim = page
+        if victim is not None:
+            return victim
+        # Old section empty/excluded: fall back to LRU order across the
+        # remaining sections (middle first, then new).
+        for segment in (self._middle, self._new):
+            for page in segment:
+                if page not in exclude:
+                    return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    # -- aging ----------------------------------------------------------------------------
+
+    def _maybe_age(self) -> None:
+        if not self._count:
+            return
+        average = self._count_total / len(self._count)
+        if average > self.average_count_limit:
+            for page in self._count:
+                self._count[page] = max(1, self._count[page] // 2)
+            self._count_total = sum(self._count.values())
+
+    def reference_count(self, page: PageId) -> int:
+        """Current (aged) FBR count of a resident page."""
+        return self._count.get(page, 0)
+
+    def reset(self) -> None:
+        super().reset()
+        self._new.clear()
+        self._middle.clear()
+        self._old.clear()
+        self._count.clear()
+        self._count_total = 0

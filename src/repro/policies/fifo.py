@@ -1,0 +1,83 @@
+"""FIFO and MRU baselines.
+
+FIFO evicts in admission order regardless of hits; it is the degenerate
+"no recency credit at all" end of the spectrum and the policy analysed
+alongside LRU by Dan & Towsley [DANTOWS], whose approximation we implement
+in :mod:`repro.analysis.dan_towsley`. MRU evicts the *most* recently used
+page — the classical answer to sequential flooding (Example 1.2) when the
+access pattern is a pure cyclic scan, and a useful foil in the swamping
+benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import NoEvictableFrameError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("fifo")
+class FIFOPolicy(ReplacementPolicy):
+    """First-In First-Out replacement: evict the oldest admission."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[PageId, None]" = OrderedDict()
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._order[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        del self._order[page]
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        for page in self._order:
+            if page not in exclude:
+                return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def reset(self) -> None:
+        super().reset()
+        self._order.clear()
+
+
+@register_policy("mru")
+class MRUPolicy(ReplacementPolicy):
+    """Most Recently Used replacement: evict the newest access."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[PageId, None]" = OrderedDict()
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        self._order.move_to_end(page)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._order[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        del self._order[page]
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        for page in reversed(self._order):
+            if page not in exclude:
+                return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def reset(self) -> None:
+        super().reset()
+        self._order.clear()

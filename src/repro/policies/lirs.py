@@ -1,0 +1,210 @@
+"""LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS 2002).
+
+The second famous descendant of LRU-K (alongside ARC): where LRU-2 ranks
+pages by the *time* of their second-to-last reference, LIRS ranks them by
+**Inter-Reference Recency** (IRR) — the number of *distinct* pages seen
+between a page's last two references — and partitions residents into a
+large LIR (low-IRR, "hot") set and a small HIR (high-IRR) set that takes
+all the eviction traffic. Like LRU-K it keeps history for non-resident
+pages (ghost entries in its recency stack), which is exactly the Retained
+Information idea of the paper's Section 2.1.2.
+
+Structures (classical formulation):
+
+- **stack S** — recency-ordered entries for LIR pages, resident HIR
+  pages, and non-resident HIR ghosts; the bottom of S is always LIR
+  (enforced by *stack pruning*);
+- **queue Q** — the resident HIR pages in FIFO order; the front of Q is
+  the eviction victim.
+
+State transitions on access:
+
+- hit on a LIR page: move to the top of S; prune.
+- hit on a resident HIR page that is *in S* (its IRR beat some LIR
+  page's recency): promote it to LIR; the bottom LIR page demotes to a
+  resident HIR page (tail of Q); prune.
+- hit on a resident HIR page *not in S*: stays HIR; re-enter S top and
+  move to Q's tail.
+- miss on a ghost (in S, non-resident): admitted directly as LIR, with
+  the same bottom-LIR demotion.
+- cold miss: admitted as resident HIR (S top + Q tail) — one reference
+  is never enough for LIR status once the LIR set is full.
+
+The eviction victim is always Q's front (residents of the HIR set); when
+Q is empty (cold start or pathological exclusions) the bottom-most LIR
+page is the fallback. Ghost entries are bounded at ``ghost_factor x
+capacity``, oldest first — the same bounded-history compromise as
+``LRUKPolicy(max_history_blocks=...)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError, PolicyError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+class _State(enum.Enum):
+    LIR = "lir"
+    HIR_RESIDENT = "hir"
+    GHOST = "ghost"
+
+
+@register_policy("lirs")
+class LIRSPolicy(ReplacementPolicy):
+    """LIRS over the event-driven policy protocol."""
+
+    def __init__(self, capacity: int, hir_fraction: float = 0.05,
+                 ghost_factor: float = 2.0) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("LIRS needs the buffer capacity")
+        if not 0.0 < hir_fraction < 1.0:
+            raise ConfigurationError("hir_fraction must lie in (0, 1)")
+        if ghost_factor <= 0:
+            raise ConfigurationError("ghost_factor must be positive")
+        self.capacity = capacity
+        self.hir_size = max(1, int(round(capacity * hir_fraction)))
+        self.lir_size = max(1, capacity - self.hir_size)
+        self.ghost_limit = max(1, int(capacity * ghost_factor))
+        # Stack S: page -> state, insertion order = recency (last = top).
+        self._stack: "OrderedDict[PageId, _State]" = OrderedDict()
+        # Queue Q: resident HIR pages, FIFO (first = eviction victim).
+        self._queue: "OrderedDict[PageId, None]" = OrderedDict()
+        # Ghosts by age (first = oldest), for the ghost bound.
+        self._ghosts: "OrderedDict[PageId, None]" = OrderedDict()
+        self._lir_count = 0
+
+    # -- stack machinery --------------------------------------------------------
+
+    def _stack_top(self, page: PageId, state: _State) -> None:
+        if page in self._stack:
+            del self._stack[page]
+        self._stack[page] = state
+
+    def _prune(self) -> None:
+        """Pop non-LIR entries off the bottom of S."""
+        while self._stack:
+            page, state = next(iter(self._stack.items()))
+            if state is _State.LIR:
+                return
+            del self._stack[page]
+            if state is _State.GHOST:
+                self._ghosts.pop(page, None)
+
+    def _demote_bottom_lir(self) -> None:
+        """Bottom LIR page becomes a resident HIR page at Q's tail.
+
+        The demoted page leaves S entirely (classical formulation): its
+        recency is the worst in the stack, so keeping the entry would
+        carry no information.
+        """
+        for page, state in self._stack.items():
+            if state is _State.LIR:
+                del self._stack[page]
+                self._queue[page] = None
+                self._lir_count -= 1
+                self._prune()
+                return
+        raise PolicyError("no LIR page to demote")
+
+    # -- protocol ------------------------------------------------------------------
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        state = self._stack.get(page)
+        if state is _State.LIR:
+            self._stack_top(page, _State.LIR)
+            self._prune()
+        elif state is _State.HIR_RESIDENT:
+            # In S: its IRR is lower than the bottom LIR's recency ->
+            # promote; demote the bottom LIR to keep |LIR| = lir_size.
+            del self._queue[page]
+            self._stack_top(page, _State.LIR)
+            self._lir_count += 1
+            if self._lir_count > self.lir_size:
+                self._demote_bottom_lir()
+            self._prune()
+        else:
+            # Resident HIR not in S (aged out): stays HIR.
+            self._stack_top(page, _State.HIR_RESIDENT)
+            self._queue.move_to_end(page)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        state = self._stack.get(page)
+        if state is _State.GHOST:
+            # Ghost hit: low IRR proven -> straight to LIR.
+            self._ghosts.pop(page, None)
+            self._stack_top(page, _State.LIR)
+            self._lir_count += 1
+            if self._lir_count > self.lir_size:
+                self._demote_bottom_lir()
+            self._prune()
+        elif self._lir_count < self.lir_size:
+            # Cold start: fill the LIR set first.
+            self._stack_top(page, _State.LIR)
+            self._lir_count += 1
+        else:
+            self._stack_top(page, _State.HIR_RESIDENT)
+            self._queue[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        if page in self._queue:
+            del self._queue[page]
+            if self._stack.get(page) is _State.HIR_RESIDENT:
+                # Still in S: keep the history as a ghost.
+                self._stack[page] = _State.GHOST
+                self._ghosts[page] = None
+                while len(self._ghosts) > self.ghost_limit:
+                    oldest, _ = self._ghosts.popitem(last=False)
+                    self._stack.pop(oldest, None)
+        elif self._stack.get(page) is _State.LIR:
+            # Fallback eviction of a LIR page (empty Q / exclusions).
+            del self._stack[page]
+            self._lir_count -= 1
+            self._prune()
+        else:
+            raise PolicyError(f"evicting page {page} in unknown LIRS state")
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        for page in self._queue:          # FIFO front first
+            if page not in exclude:
+                return page
+        for page, state in self._stack.items():   # bottom-most LIR fallback
+            if state is _State.LIR and page not in exclude:
+                return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def reset(self) -> None:
+        super().reset()
+        self._stack.clear()
+        self._queue.clear()
+        self._ghosts.clear()
+        self._lir_count = 0
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    @property
+    def lir_pages(self) -> FrozenSet[PageId]:
+        """Current LIR (hot) pages."""
+        return frozenset(page for page, state in self._stack.items()
+                         if state is _State.LIR)
+
+    @property
+    def resident_hir_pages(self) -> FrozenSet[PageId]:
+        """Current resident HIR pages (the eviction pool)."""
+        return frozenset(self._queue)
+
+    @property
+    def ghost_pages(self) -> FrozenSet[PageId]:
+        """Non-resident pages whose history is retained in S."""
+        return frozenset(self._ghosts)

@@ -1,0 +1,120 @@
+"""LRD — Least Reference Density (Effelsberg & Haerder [EFFEHAER]).
+
+Reference density is reference frequency measured over a page's "age".
+Two classical variants:
+
+- **LRD-V1**: density = total_references / (now - first_admission). Age
+  grows forever, so like LFU the scheme is slow to forget.
+- **LRD-V2**: every ``aging_interval`` references, all reference counts
+  are multiplied by ``decay`` (0 < decay < 1), giving a sliding exponential
+  window. The interval and decay are workload-dependent tuning knobs —
+  again the class of parameter the paper's Section 1.2 criticizes, in
+  contrast to LRU-K's parameter-free aging.
+
+Victim = resident page with minimum density, ties by recency. Selection is
+a linear scan: density of *every* page changes as ``now`` advances (V1) or
+at decay boundaries (V2), so no order-preserving index applies; the pools
+used in the paper's experiments keep B small enough for this to be fine,
+and bench A10 quantifies the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("lrd-v1")
+class LRDV1Policy(ReplacementPolicy):
+    """Least Reference Density, variant 1 (global age)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count: Dict[PageId, float] = {}
+        self._first_seen: Dict[PageId, int] = {}
+        self._last_access: Dict[PageId, int] = {}
+
+    def _bump(self, page: PageId, now: int) -> None:
+        self._count[page] = self._count.get(page, 0.0) + 1.0
+        self._first_seen.setdefault(page, now)
+        self._last_access[page] = now
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        self._bump(page, now)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._bump(page, now)
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        # V1 forgets evicted pages entirely (density restarts on return).
+        self._count.pop(page, None)
+        self._first_seen.pop(page, None)
+        self._last_access.pop(page, None)
+
+    def density(self, page: PageId, now: int) -> float:
+        """Current reference density of a resident page."""
+        age = max(1, now - self._first_seen[page] + 1)
+        return self._count[page] / age
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        victim: Optional[PageId] = None
+        best = (float("inf"), float("inf"))
+        for page in self._resident:
+            if page in exclude:
+                continue
+            key = (self.density(page, now), self._last_access[page])
+            if key < best:
+                best = key
+                victim = page
+        if victim is None:
+            raise NoEvictableFrameError("all resident pages are excluded")
+        return victim
+
+    def reset(self) -> None:
+        super().reset()
+        self._count.clear()
+        self._first_seen.clear()
+        self._last_access.clear()
+
+
+@register_policy("lrd-v2")
+class LRDV2Policy(LRDV1Policy):
+    """Least Reference Density, variant 2 (periodic multiplicative decay)."""
+
+    def __init__(self, aging_interval: int = 1000, decay: float = 0.5) -> None:
+        super().__init__()
+        if aging_interval <= 0:
+            raise ConfigurationError("aging_interval must be positive")
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError("decay must lie strictly in (0, 1)")
+        self.aging_interval = aging_interval
+        self.decay = decay
+        self._last_aged = 0
+
+    def _maybe_age(self, now: int) -> None:
+        if now - self._last_aged < self.aging_interval:
+            return
+        self._last_aged = now
+        for page in self._count:
+            self._count[page] *= self.decay
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        self._maybe_age(now)
+        super().on_hit(page, now)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        self._maybe_age(now)
+        super().on_admit(page, now)
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_aged = 0

@@ -1,0 +1,108 @@
+"""The "Page Pool Tuning" baseline (paper Section 1.1, [REITER]).
+
+Reiter's Domain Separation approach: the DBA statically assigns page sets
+to separate buffer pools of tuned sizes, so "B-tree node pages would
+compete only against other node pages for buffers, data pages ... only
+against other data pages". The paper positions LRU-K as approaching this
+hand-tuned behaviour *without* the human effort; benchmark A9 makes the
+comparison concrete by giving this policy the perfect tuning for the
+two-pool workload and measuring how close self-reliant LRU-2 comes.
+
+Each domain runs LRU internally. The victim for an incoming page comes
+from the incoming page's own domain when that domain is at or over its
+quota; otherwise from the most over-quota domain (which is what frees a
+slot for the growing domain); otherwise the global LRU page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, FrozenSet, Mapping, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError, PolicyError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy
+
+#: Maps a page to its domain (pool) number.
+DomainFunction = Callable[[PageId], int]
+
+
+class MultiPoolPolicy(ReplacementPolicy):
+    """DBA-tuned domain-separated buffering with per-domain LRU."""
+
+    def __init__(self, domain_of: DomainFunction,
+                 quotas: Mapping[int, int]) -> None:
+        super().__init__()
+        if not quotas:
+            raise ConfigurationError("multi-pool needs at least one domain")
+        if any(q < 0 for q in quotas.values()):
+            raise ConfigurationError("domain quotas cannot be negative")
+        self.domain_of = domain_of
+        self.quotas: Dict[int, int] = dict(quotas)
+        self._pools: Dict[int, "OrderedDict[PageId, None]"] = {
+            domain: OrderedDict() for domain in self.quotas}
+        self._domain_cache: Dict[PageId, int] = {}
+
+    def _domain(self, page: PageId) -> int:
+        domain = self._domain_cache.get(page)
+        if domain is None:
+            domain = self.domain_of(page)
+            if domain not in self._pools:
+                raise PolicyError(
+                    f"page {page} mapped to unknown domain {domain}")
+            self._domain_cache[page] = domain
+        return domain
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        self._pools[self._domain(page)].move_to_end(page)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._pools[self._domain(page)][page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        del self._pools[self._domain(page)][page]
+
+    def occupancy(self, domain: int) -> int:
+        """Resident pages currently charged to a domain."""
+        return len(self._pools[domain])
+
+    def _lru_of(self, domain: int,
+                exclude: FrozenSet[PageId]) -> Optional[PageId]:
+        for page in self._pools[domain]:
+            if page not in exclude:
+                return page
+        return None
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        ordered_domains = self._victim_domain_order(incoming)
+        for domain in ordered_domains:
+            victim = self._lru_of(domain, exclude)
+            if victim is not None:
+                return victim
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def _victim_domain_order(self, incoming: Optional[PageId]) -> list:
+        """Domains in preference order for victim selection."""
+        overflow = {d: len(pool) - self.quotas[d]
+                    for d, pool in self._pools.items()}
+        if incoming is not None:
+            home = self._domain(incoming)
+            if overflow[home] >= 0 and self._pools[home]:
+                # Home domain at/over quota: it pays for its own growth.
+                rest = sorted((d for d in self._pools if d != home),
+                              key=lambda d: -overflow[d])
+                return [home] + rest
+        # Otherwise charge the most over-quota domain first.
+        return sorted(self._pools, key=lambda d: -overflow[d])
+
+    def reset(self) -> None:
+        super().reset()
+        for pool in self._pools.values():
+            pool.clear()
+        self._domain_cache.clear()

@@ -1,0 +1,62 @@
+"""Uniform-random replacement.
+
+Evicting a uniformly random resident page is the memoryless baseline: under
+the Independent Reference Model its steady-state hit ratio equals FIFO's
+(a classical result reproduced by benchmark A7). It anchors the bottom of
+every comparison table and doubles as a fuzzing driver in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..errors import NoEvictableFrameError
+from ..stats import SeededRng
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("random")
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random unexcluded resident page.
+
+    Maintains an index-addressable list with swap-remove so victim choice
+    is O(1) expected even with exclusions.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = SeededRng(seed)
+        self._pages: List[PageId] = []
+        self._slot_of: Dict[PageId, int] = {}
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._slot_of[page] = len(self._pages)
+        self._pages.append(page)
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        slot = self._slot_of.pop(page)
+        last = self._pages.pop()
+        if last != page:
+            self._pages[slot] = last
+            self._slot_of[last] = slot
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        if not exclude:
+            return self._pages[self._rng.randrange(len(self._pages))]
+        candidates = [p for p in self._pages if p not in exclude]
+        if not candidates:
+            raise NoEvictableFrameError("all resident pages are excluded")
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def reset(self) -> None:
+        super().reset()
+        self._pages.clear()
+        self._slot_of.clear()
+        self._rng = SeededRng(self._seed)  # replay identically after reset

@@ -1,0 +1,93 @@
+"""SLRU — Segmented LRU (Karedla, Love & Wherry, 1994).
+
+A contemporary of LRU-2 with the same goal reached by segmentation
+instead of history: the cache is split into a **probationary** segment
+(first-time pages) and a **protected** segment (pages hit at least once
+while resident). Victims always come from the probationary LRU end, so a
+page must prove itself by a re-reference before it can displace proven
+pages — a structural version of the backward-2-distance test that, unlike
+LRU-2, cannot recognize a page whose re-reference arrives after eviction
+(it keeps no retained information). Included in the lineage benchmark to
+make precisely that contrast measurable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError, PolicyError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("slru")
+class SLRUPolicy(ReplacementPolicy):
+    """Segmented LRU with a protected-segment capacity fraction."""
+
+    def __init__(self, capacity: int,
+                 protected_fraction: float = 0.8) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("SLRU needs the buffer capacity")
+        if not 0.0 < protected_fraction < 1.0:
+            raise ConfigurationError(
+                "protected_fraction must lie strictly in (0, 1)")
+        self.capacity = capacity
+        self.protected_size = max(1, int(capacity * protected_fraction))
+        # LRU-ordered segments: first item = LRU end.
+        self._probationary: "OrderedDict[PageId, None]" = OrderedDict()
+        self._protected: "OrderedDict[PageId, None]" = OrderedDict()
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        if page in self._protected:
+            self._protected.move_to_end(page)
+            return
+        # Promotion: probationary -> protected MRU; protected overflow
+        # demotes its LRU back to the probationary MRU end.
+        del self._probationary[page]
+        self._protected[page] = None
+        while len(self._protected) > self.protected_size:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probationary[demoted] = None
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._probationary[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        if page in self._probationary:
+            del self._probationary[page]
+        elif page in self._protected:
+            del self._protected[page]
+        else:
+            raise PolicyError(f"page {page} missing from both SLRU segments")
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        for segment in (self._probationary, self._protected):
+            for page in segment:
+                if page not in exclude:
+                    return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    # -- diagnostics --------------------------------------------------------------
+
+    @property
+    def protected_pages(self) -> FrozenSet[PageId]:
+        """Pages currently in the protected segment."""
+        return frozenset(self._protected)
+
+    @property
+    def probationary_pages(self) -> FrozenSet[PageId]:
+        """Pages currently in the probationary segment."""
+        return frozenset(self._probationary)
+
+    def reset(self) -> None:
+        super().reset()
+        self._probationary.clear()
+        self._protected.clear()

@@ -1,0 +1,102 @@
+"""2Q (Johnson & Shasha, VLDB 1994) — the direct descendant of LRU-K.
+
+2Q was proposed one year after this paper explicitly as a constant-time
+approximation of LRU-2: a short FIFO queue ``A1in`` absorbs first-time
+(possibly correlated) references, a ghost queue ``A1out`` remembers
+recently evicted once-referenced pages (playing the role of LRU-K's
+Retained Information), and only pages re-referenced while remembered in
+``A1out`` are promoted into the main LRU ``Am``. We include it as lineage
+for benchmark A8.
+
+This is "full 2Q" with the standard parameters: ``A1in`` sized at 25% of
+the buffer, ``A1out`` remembering 50% of the buffer's worth of ghosts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("2q")
+class TwoQPolicy(ReplacementPolicy):
+    """Full 2Q with A1in (FIFO), A1out (ghost FIFO), and Am (LRU)."""
+
+    def __init__(self, capacity: int,
+                 kin_fraction: float = 0.25,
+                 kout_fraction: float = 0.50) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("2Q needs the buffer capacity up front")
+        if not 0.0 < kin_fraction < 1.0 or kout_fraction <= 0.0:
+            raise ConfigurationError("2Q queue fractions out of range")
+        self.capacity = capacity
+        self.kin = max(1, int(capacity * kin_fraction))
+        self.kout = max(1, int(capacity * kout_fraction))
+        self._a1in: "OrderedDict[PageId, None]" = OrderedDict()
+        self._a1out: "OrderedDict[PageId, None]" = OrderedDict()
+        self._am: "OrderedDict[PageId, None]" = OrderedDict()
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        if page in self._am:
+            self._am.move_to_end(page)
+        # A hit inside A1in leaves the page in place (2Q's answer to
+        # correlated references: bursts do not promote).
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        if page in self._a1out:
+            # Re-reference while remembered: promote to the hot queue.
+            del self._a1out[page]
+            self._am[page] = None
+        else:
+            self._a1in[page] = None
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        if page in self._a1in:
+            del self._a1in[page]
+            # Evicted from A1in -> remembered as a ghost.
+            self._a1out[page] = None
+            while len(self._a1out) > self.kout:
+                self._a1out.popitem(last=False)
+        elif page in self._am:
+            del self._am[page]
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        # Standard 2Q: reclaim from A1in while it exceeds its target size,
+        # otherwise from the LRU end of Am; fall through across queues when
+        # exclusions or emptiness block the preferred choice.
+        queues = ((self._a1in, self._am) if len(self._a1in) > self.kin
+                  else (self._am, self._a1in))
+        for queue in queues:
+            for page in queue:
+                if page not in exclude:
+                    return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def reset(self) -> None:
+        super().reset()
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()
+
+    # -- diagnostics ----------------------------------------------------------
+
+    @property
+    def hot_pages(self) -> FrozenSet[PageId]:
+        """Pages currently in the Am (hot) queue."""
+        return frozenset(self._am)
+
+    @property
+    def ghost_pages(self) -> FrozenSet[PageId]:
+        """Pages remembered in A1out (non-resident history)."""
+        return frozenset(self._a1out)

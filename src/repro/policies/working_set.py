@@ -1,0 +1,73 @@
+"""Working-Set replacement (Denning [DENNING]).
+
+The working set W(t, tau) is the set of pages referenced in the last
+``tau`` references. The policy prefers to evict pages that have dropped
+out of the working set (oldest first); if every resident page is inside
+the window — the "working set exceeds memory" regime — it degrades to
+plain LRU, which is the conventional fixed-allocation adaptation of
+Denning's variable-allocation scheme.
+
+Included because the paper's Section 1.1 traces LRU's origin to
+instruction-logic paging work ([DENNING], [COFFDENN]); the working-set
+policy is the canonical representative of that tradition and a useful
+comparison point in the adaptivity benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Optional
+
+from ..errors import ConfigurationError, NoEvictableFrameError
+from ..types import PageId
+from .base import NO_EXCLUSIONS, ReplacementPolicy, register_policy
+
+
+@register_policy("working-set")
+class WorkingSetPolicy(ReplacementPolicy):
+    """Evict outside-working-set pages first, LRU within the window."""
+
+    def __init__(self, window: int = 1000) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ConfigurationError("working-set window must be positive")
+        self.window = window
+        # LRU-ordered map page -> last access time.
+        self._last_access: "OrderedDict[PageId, int]" = OrderedDict()
+
+    def on_hit(self, page: PageId, now: int) -> None:
+        super().on_hit(page, now)
+        self._last_access[page] = now
+        self._last_access.move_to_end(page)
+
+    def on_admit(self, page: PageId, now: int) -> None:
+        super().on_admit(page, now)
+        self._last_access[page] = now
+
+    def on_evict(self, page: PageId, now: int) -> None:
+        super().on_evict(page, now)
+        del self._last_access[page]
+
+    def in_working_set(self, page: PageId, now: int) -> bool:
+        """True when the page was referenced within the last ``window`` refs."""
+        return now - self._last_access[page] < self.window
+
+    def choose_victim(self, now: int,
+                      incoming: Optional[PageId] = None,
+                      exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
+        self._check_candidates(exclude)
+        # The LRU order means the first unexcluded page is simultaneously
+        # the best out-of-working-set candidate (oldest) and the LRU
+        # fallback when everything is inside the window.
+        for page in self._last_access:
+            if page not in exclude:
+                return page
+        raise NoEvictableFrameError("all resident pages are excluded")
+
+    def working_set_size(self, now: int) -> int:
+        """|W(t, tau)| over resident pages (diagnostics)."""
+        return sum(1 for p in self._last_access if self.in_working_set(p, now))
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_access.clear()

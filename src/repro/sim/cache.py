@@ -1,0 +1,156 @@
+"""Policy-level cache simulator.
+
+This is the instrument the paper's experiments are run on: a fixed number
+of buffer slots, a replacement policy, and a reference string. It tracks
+residency, hit/miss counts, evictions, and (for write references) dirty
+state and write-backs — but deliberately models no pins, latency, or real
+page contents; that heavier machinery lives in :class:`repro.buffer.BufferPool`.
+Both drivers speak the same :class:`~repro.policies.base.ReplacementPolicy`
+protocol, so a policy validated here runs unmodified there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ..clock import LogicalClock
+from ..errors import ConfigurationError
+from ..policies.base import ReplacementPolicy
+from ..types import (
+    AccessOutcome,
+    HitRatioCounter,
+    PageId,
+    Reference,
+    as_reference,
+)
+
+
+class CacheSimulator:
+    """Drive a replacement policy over a reference string.
+
+    Parameters
+    ----------
+    policy:
+        Any :class:`~repro.policies.base.ReplacementPolicy`.
+    capacity:
+        Number of buffer slots ``B``.
+    record_evictions:
+        When True, keeps an in-order log of (time, page) evictions for
+        post-hoc analysis (costs memory on long runs; off by default).
+    """
+
+    def __init__(self, policy: ReplacementPolicy, capacity: int,
+                 record_evictions: bool = False) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("buffer capacity must be positive")
+        self.policy = policy
+        self.capacity = capacity
+        self.clock = LogicalClock()
+        self.counter = HitRatioCounter()
+        self.warmup_counter: Optional[HitRatioCounter] = None
+        self.evictions = 0
+        self.writebacks = 0
+        self._resident: Dict[PageId, bool] = {}  # page -> dirty?
+        self._admitted_at: Dict[PageId, int] = {}
+        self.eviction_log: Optional[List[AccessOutcome]] = (
+            [] if record_evictions else None)
+
+    # -- state inspection -------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> FrozenSet[PageId]:
+        """Snapshot of resident page ids."""
+        return frozenset(self._resident)
+
+    @property
+    def now(self) -> int:
+        """Logical time of the most recent access."""
+        return self.clock.now
+
+    def is_resident(self, page: PageId) -> bool:
+        """True when the page currently occupies a buffer slot."""
+        return page in self._resident
+
+    def is_dirty(self, page: PageId) -> bool:
+        """True when the page is resident and has unwritten modifications."""
+        return self._resident.get(page, False)
+
+    # -- driving ------------------------------------------------------------------
+
+    def access(self, item: "Reference | PageId") -> AccessOutcome:
+        """Process one reference and return what happened."""
+        ref = as_reference(item)
+        t = self.clock.tick()
+        outcome = AccessOutcome(reference=ref, time=t, hit=False)
+
+        self.policy.observe(ref, t)
+        if ref.page in self._resident:
+            outcome.hit = True
+            self.policy.on_hit(ref.page, t)
+        else:
+            if len(self._resident) >= self.capacity:
+                victim = self.policy.choose_victim(t, incoming=ref.page)
+                self._evict(victim, t, outcome)
+            self.policy.on_admit(ref.page, t)
+            self._resident[ref.page] = False
+            self._admitted_at[ref.page] = t
+
+        if ref.is_write:
+            self._resident[ref.page] = True
+        self.counter.record(outcome.hit)
+        return outcome
+
+    def _evict(self, victim: PageId, t: int, outcome: AccessOutcome) -> None:
+        dirty = self._resident.pop(victim)
+        admitted = self._admitted_at.pop(victim)
+        self.policy.on_evict(victim, t)
+        self.evictions += 1
+        outcome.evicted = victim
+        outcome.evicted_dirty = dirty
+        if dirty:
+            self.writebacks += 1
+        if self.eviction_log is not None:
+            self.eviction_log.append(
+                AccessOutcome(reference=outcome.reference, time=t, hit=False,
+                              evicted=victim, evicted_dirty=dirty))
+        del admitted  # retained only for residency-duration analyses
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the buffer, evicting victims if it shrank.
+
+        Supports the dynamic frame/history-block exchange of
+        :class:`repro.sim.adaptive.AdaptiveCacheSimulator` (the paper's
+        Section 5 future-work idea). Shrinking evicts through the policy's
+        normal victim selection, so the pages sacrificed are exactly the
+        ones the policy values least.
+        """
+        if capacity <= 0:
+            raise ConfigurationError("buffer capacity must be positive")
+        self.capacity = capacity
+        now = self.clock.now
+        while len(self._resident) > self.capacity:
+            victim = self.policy.choose_victim(max(1, now))
+            outcome = AccessOutcome(
+                reference=as_reference(victim), time=now, hit=False)
+            self._evict(victim, max(1, now), outcome)
+
+    def run(self, references: Iterable["Reference | PageId"]) -> HitRatioCounter:
+        """Process an entire reference string; returns the live counter."""
+        for item in references:
+            self.access(item)
+        return self.counter
+
+    def start_measurement(self) -> None:
+        """Mark the warm-up boundary: archive and reset the hit counter.
+
+        Implements the paper's protocol of "dropping the initial set of
+        references" before measuring (Section 4.1).
+        """
+        self.warmup_counter = HitRatioCounter(hits=self.counter.hits,
+                                              misses=self.counter.misses)
+        self.counter.reset()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hit ratio C = h/T over the current measurement window."""
+        return self.counter.hit_ratio

@@ -1,0 +1,88 @@
+"""ASCII charts for hit-ratio curves.
+
+The paper presents its evaluation as tables; a curve view makes the
+crossovers and plateaus legible at a glance in a terminal. These are
+deliberately dependency-free fixed-grid plots — the CLI renders one under
+each table when asked (``--chart``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(x_values: Sequence[float],
+                series: Dict[str, Sequence[float]],
+                width: int = 60,
+                height: int = 16,
+                y_min: Optional[float] = None,
+                y_max: Optional[float] = None,
+                y_label: str = "hit ratio",
+                x_label: str = "B") -> str:
+    """Render one or more y(x) series onto a character grid.
+
+    X positions are mapped by value (not by index), so unevenly spaced
+    buffer sizes land where they should. Collisions print the later
+    series' glyph; the legend disambiguates.
+    """
+    if not x_values:
+        raise ConfigurationError("chart needs at least one x value")
+    if not series:
+        raise ConfigurationError("chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(x_values)} x values")
+    if len(series) > len(_GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(_GLYPHS)} series are distinguishable")
+
+    all_y = [y for values in series.values() for y in values]
+    low = min(all_y) if y_min is None else y_min
+    high = max(all_y) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    x_span = (x_high - x_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for glyph, (label, values) in zip(_GLYPHS, series.items()):
+        for x, y in zip(x_values, values):
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            clamped = min(max(y, low), high)
+            row = int(round((clamped - low) / (high - low) * (height - 1)))
+            grid[height - 1 - row][column] = glyph
+
+    lines: List[str] = []
+    for index, row in enumerate(grid):
+        if index == 0:
+            margin = f"{high:7.3f} |"
+        elif index == height - 1:
+            margin = f"{low:7.3f} |"
+        else:
+            margin = "        |"
+        lines.append(margin + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append(f"        {x_label}: {x_low:g} .. {x_high:g}   "
+                 f"y: {y_label}")
+    legend = "   ".join(f"{glyph}={label}" for glyph, label
+                        in zip(_GLYPHS, series))
+    lines.append(f"        {legend}")
+    return "\n".join(lines)
+
+
+def chart_experiment(result, width: int = 60, height: int = 16) -> str:
+    """Chart an :class:`~repro.sim.experiment.ExperimentResult`."""
+    x_values = [float(b) for b in result.capacities]
+    series = {spec.label: result.hit_ratios(spec.label)
+              for spec in result.spec.policies}
+    return ascii_chart(x_values, series, width=width, height=height,
+                       y_min=0.0)

@@ -1,0 +1,108 @@
+"""The equi-effective buffer size metric B(1)/B(2).
+
+Section 4.1: "for a given N1, N2 and buffer size B(2), if LRU-2 achieves a
+cache hit ratio C(2), we expect that LRU-1 will achieve a smaller cache
+hit ratio. But by increasing the number of buffer pages available, LRU-1
+will eventually achieve an equivalent cache hit ratio, and we say that
+this happens when the number of buffer pages equals B(1). Then the ratio
+B(1)/B(2) ... is a measure of comparable buffering effectiveness of the
+two algorithms."
+
+:func:`equi_effective_buffer_size` finds B(1) by bisection: a policy's hit
+ratio is (statistically) non-decreasing in buffer size, so we search for
+the smallest capacity whose measured hit ratio reaches the target. Results
+are cached per capacity so the bracketing phase's endpoints are reused.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..workloads.base import Workload
+from .runner import PolicySpec, run_paper_protocol
+
+#: Evaluates the mean hit ratio of the baseline at a given capacity.
+HitRatioFunction = Callable[[int], float]
+
+
+def equi_effective_buffer_size(evaluate: HitRatioFunction,
+                               target_hit_ratio: float,
+                               low: int = 1,
+                               high: int = 1 << 20,
+                               max_probes: int = 64) -> int:
+    """Smallest capacity whose hit ratio reaches ``target_hit_ratio``.
+
+    ``evaluate`` must be (noisily) non-decreasing in capacity. ``high`` is
+    a hard cap: if even that capacity misses the target, a
+    :class:`~repro.errors.SimulationError` is raised — for hit-ratio
+    targets near the workload's compulsory-miss ceiling no finite buffer
+    suffices.
+    """
+    if not 0.0 <= target_hit_ratio <= 1.0:
+        raise ConfigurationError("target hit ratio must lie in [0, 1]")
+    if low <= 0 or high < low:
+        raise ConfigurationError("need 0 < low <= high")
+
+    cache: Dict[int, float] = {}
+
+    def ratio(capacity: int) -> float:
+        if capacity not in cache:
+            cache[capacity] = evaluate(capacity)
+        return cache[capacity]
+
+    # Exponential bracketing upward from `low`.
+    probes = 0
+    bracket_low = low
+    bracket_high = low
+    while ratio(bracket_high) < target_hit_ratio:
+        probes += 1
+        if bracket_high >= high or probes > max_probes:
+            raise SimulationError(
+                f"hit ratio {target_hit_ratio:.4f} unreachable at "
+                f"capacity {bracket_high} (got {ratio(bracket_high):.4f})")
+        bracket_low = bracket_high
+        bracket_high = min(high, bracket_high * 2)
+
+    # Bisect for the smallest satisfying capacity.
+    while bracket_low < bracket_high:
+        probes += 1
+        if probes > max_probes:
+            break
+        middle = (bracket_low + bracket_high) // 2
+        if ratio(middle) >= target_hit_ratio:
+            bracket_high = middle
+        else:
+            bracket_low = middle + 1
+    return bracket_high
+
+
+def equi_effective_ratio(workload: Workload,
+                         baseline: PolicySpec,
+                         improved: PolicySpec,
+                         capacity: int,
+                         warmup: int,
+                         measured: int,
+                         seed: int = 0,
+                         repetitions: int = 1,
+                         high: Optional[int] = None) -> float:
+    """The paper's B(baseline)/B(improved) at the improved policy's capacity.
+
+    Runs ``improved`` at ``capacity`` to get the target hit ratio, then
+    searches for the baseline capacity matching it.
+    """
+    improved_result = run_paper_protocol(
+        workload, improved, capacity, warmup, measured,
+        seed=seed, repetitions=repetitions)
+    target = improved_result.hit_ratio
+
+    def evaluate(b: int) -> float:
+        result = run_paper_protocol(
+            workload, baseline, b, warmup, measured,
+            seed=seed, repetitions=repetitions)
+        return result.hit_ratio
+
+    upper = high if high is not None else max(64 * capacity, 4096)
+    b_baseline = equi_effective_buffer_size(
+        evaluate, target, low=max(1, capacity // 2), high=upper)
+    return b_baseline / capacity

@@ -1,0 +1,63 @@
+"""Parameter sweeps over buffer sizes (the rows of the paper's tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..stats import ConfidenceInterval
+from ..workloads.base import Workload
+from .runner import PolicySpec, ProtocolResult, run_paper_protocol
+
+
+@dataclass
+class SweepCell:
+    """One buffer size's results across all policies."""
+
+    capacity: int
+    results: Dict[str, ProtocolResult] = field(default_factory=dict)
+
+    def hit_ratio(self, label: str) -> float:
+        """Mean hit ratio of the given policy at this buffer size."""
+        return self.results[label].hit_ratio
+
+    def interval(self, label: str) -> ConfidenceInterval:
+        """Confidence interval of the given policy at this buffer size."""
+        return self.results[label].interval
+
+
+def sweep_buffer_sizes(workload: Workload,
+                       specs: Sequence[PolicySpec],
+                       capacities: Sequence[int],
+                       warmup: int,
+                       measured: int,
+                       seed: int = 0,
+                       repetitions: int = 1,
+                       progress: Optional[callable] = None) -> List[SweepCell]:
+    """Run every (policy, capacity) cell of a table.
+
+    ``progress``, when given, is called with a human-readable string after
+    each cell — the CLI uses it for live feedback on long sweeps.
+    """
+    if not specs:
+        raise ConfigurationError("sweep needs at least one policy")
+    if not capacities:
+        raise ConfigurationError("sweep needs at least one buffer size")
+    labels = [spec.label for spec in specs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate policy labels: {labels}")
+
+    cells: List[SweepCell] = []
+    for capacity in capacities:
+        cell = SweepCell(capacity=capacity)
+        for spec in specs:
+            result = run_paper_protocol(
+                workload, spec, capacity, warmup, measured,
+                seed=seed, repetitions=repetitions)
+            cell.results[spec.label] = result
+            if progress is not None:
+                progress(f"B={capacity:<6d} {spec.label:<8s} "
+                         f"C={result.hit_ratio:.4f}")
+        cells.append(cell)
+    return cells

@@ -1,0 +1,76 @@
+"""ASCII tables in the layout of the paper's Tables 4.1-4.3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+from ..errors import ConfigurationError
+
+Cell = Union[str, int, float, None]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title and optional caption."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    caption: str = ""
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(cells))
+
+    def render(self, float_format: str = "{:.3f}") -> str:
+        """Render to a fixed-width ASCII string."""
+        return format_table(self, float_format=float_format)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by header name."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(cell: Cell, float_format: str) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def format_table(table: Table, float_format: str = "{:.3f}") -> str:
+    """Fixed-width rendering with a rule under the header, paper style."""
+    header = [str(name) for name in table.columns]
+    body = [[_format_cell(cell, float_format) for cell in row]
+            for row in table.rows]
+    widths = [len(name) for name in header]
+    for row in body:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def line(cells: Iterable[str]) -> str:
+        return "  ".join(text.rjust(width)
+                         for text, width in zip(cells, widths)).rstrip()
+
+    parts = []
+    if table.title:
+        parts.append(table.title)
+    parts.append(line(header))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in body)
+    if table.caption:
+        parts.append("")
+        parts.append(table.caption)
+    return "\n".join(parts)

@@ -1,0 +1,19 @@
+"""Statistics utilities used throughout the simulator and analysis code."""
+
+from .streaming import StreamingMoments, StreamingMinMax
+from .histogram import Histogram, IntervalHistogram
+from .confidence import ConfidenceInterval, mean_confidence_interval
+from .sampling import SeededRng, derive_seed, spawn_rngs, ReservoirSampler
+
+__all__ = [
+    "StreamingMoments",
+    "StreamingMinMax",
+    "Histogram",
+    "IntervalHistogram",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "SeededRng",
+    "derive_seed",
+    "spawn_rngs",
+    "ReservoirSampler",
+]

@@ -1,0 +1,89 @@
+"""Confidence intervals for repeated simulation runs.
+
+The experiment runner repeats every (workload, policy, buffer-size) cell
+over independent seeds and reports the mean hit ratio with a normal-theory
+confidence interval. We use Student-t critical values from a small built-in
+table (no scipy dependency in the core library), which is ample for the
+3-30 repetitions typical of the harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+# Two-sided Student-t critical values at 95% confidence, by degrees of
+# freedom. Beyond the table we fall back to the normal quantile 1.96.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for the given dof."""
+    if dof <= 0:
+        raise ConfigurationError("degrees of freedom must be positive")
+    if dof in _T_95:
+        return _T_95[dof]
+    for threshold in sorted(_T_95):
+        if dof <= threshold:
+            return _T_95[threshold]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric half-width at 95% confidence."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when a value lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True when two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.count})"
+
+
+def mean_confidence_interval(values: Sequence[float]) -> ConfidenceInterval:
+    """95% confidence interval on the mean of independent observations.
+
+    A single observation yields a zero-width interval (the harness treats a
+    one-repetition run as a point estimate).
+    """
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("cannot build an interval from no data")
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, count=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stderr = math.sqrt(variance / n)
+    return ConfidenceInterval(
+        mean=mean,
+        half_width=_t_critical_95(n - 1) * stderr,
+        count=n,
+    )

@@ -1,0 +1,78 @@
+"""Deterministic random-number management and sampling helpers.
+
+Every stochastic component in the library takes an explicit seed or RNG;
+nothing touches the global :mod:`random` state. :func:`spawn_rngs` fans a
+master seed out into independent per-component generators so that, e.g.,
+the two-pool workload and an abort-injection process evolve independently
+and reproducibly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, List, Optional, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+#: Alias making signatures self-documenting: a seeded stdlib generator.
+SeededRng = random.Random
+
+# A large odd multiplier decorrelates child seeds derived from consecutive
+# master seeds (SplitMix-style stream separation).
+_STREAM_SALT = 0x9E3779B97F4A7C15
+
+
+def spawn_rngs(seed: int, count: int) -> List[SeededRng]:
+    """Derive ``count`` independent generators from one master seed."""
+    if count < 0:
+        raise ConfigurationError("cannot spawn a negative number of RNGs")
+    return [SeededRng((seed * _STREAM_SALT + index) & (2 ** 64 - 1))
+            for index in range(count)]
+
+
+def derive_seed(seed: int, stream: int) -> int:
+    """Derive a child seed for a named stream index."""
+    return (seed * _STREAM_SALT + stream) & (2 ** 64 - 1)
+
+
+class ReservoirSampler(Generic[T]):
+    """Uniform k-sample over a stream of unknown length (Algorithm R).
+
+    Used by trace analytics to keep a bounded sample of interarrival
+    intervals from multi-hundred-thousand-reference traces.
+    """
+
+    def __init__(self, capacity: int, rng: Optional[SeededRng] = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else SeededRng(0)
+        self._seen = 0
+        self._sample: List[T] = []
+
+    def add(self, item: T) -> None:
+        """Offer one stream element to the reservoir."""
+        self._seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(item)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._sample[slot] = item
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Offer many stream elements."""
+        for item in items:
+            self.add(item)
+
+    @property
+    def seen(self) -> int:
+        """Total elements offered so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[T]:
+        """A copy of the current sample (size <= capacity)."""
+        return list(self._sample)

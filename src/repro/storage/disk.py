@@ -1,0 +1,146 @@
+"""The simulated disk: page store + I/O accounting + optional timing.
+
+:class:`SimulatedDisk` is the substrate beneath :class:`repro.buffer.BufferPool`.
+It stores page images (as :class:`~repro.storage.page.DiskPage` objects),
+counts physical reads and writes, and — when driven with arrival times —
+feeds requests through a :class:`~repro.storage.latency.DiskQueue` so that
+experiments can report response times, not just I/O counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..errors import ConfigurationError, PageNotAllocatedError
+from ..types import PageId
+from .latency import DiskQueue, DiskServiceModel
+from .page import DiskPage
+
+
+@dataclass
+class IoStats:
+    """Physical I/O counters for one disk."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero all counters (used at warm-up boundaries)."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+
+class SimulatedDisk:
+    """An in-memory disk image with I/O accounting.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Maximum number of allocatable pages, or None for unbounded. The
+        paper's OLTP database is 20 GB ~ 5.2M 4K pages; simulations usually
+        allocate far fewer and address pages sparsely.
+    service_model:
+        Optional timing model. When provided, reads/writes submitted with an
+        ``arrival_ms`` pass through a FIFO disk queue and accumulate
+        response-time statistics.
+    """
+
+    def __init__(self,
+                 capacity_pages: Optional[int] = None,
+                 service_model: Optional[DiskServiceModel] = None) -> None:
+        if capacity_pages is not None and capacity_pages <= 0:
+            raise ConfigurationError("disk capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self._pages: Dict[PageId, bytes] = {}
+        self._next_page_id = 0
+        self.stats = IoStats()
+        self.queue = DiskQueue(service_model) if service_model else None
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self) -> PageId:
+        """Allocate a fresh, zero-filled page and return its id."""
+        if (self.capacity_pages is not None
+                and len(self._pages) >= self.capacity_pages):
+            raise ConfigurationError("disk is full")
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = DiskPage(page_id).to_bytes()
+        self.stats.allocations += 1
+        return page_id
+
+    def allocate_many(self, count: int) -> range:
+        """Allocate ``count`` consecutive pages; returns their id range."""
+        if count < 0:
+            raise ConfigurationError("cannot allocate a negative page count")
+        first = self._next_page_id
+        for _ in range(count):
+            self.allocate()
+        return range(first, self._next_page_id)
+
+    def is_allocated(self, page_id: PageId) -> bool:
+        """True when the page id has been allocated."""
+        return page_id in self._pages
+
+    @property
+    def allocated_pages(self) -> int:
+        """Number of pages currently allocated."""
+        return len(self._pages)
+
+    def page_ids(self) -> Iterable[PageId]:
+        """Iterate over all allocated page ids (allocation order)."""
+        return iter(self._pages)
+
+    # -- physical I/O -------------------------------------------------------
+
+    def read(self, page_id: PageId,
+             arrival_ms: Optional[float] = None) -> DiskPage:
+        """Physically read a page image, counting the I/O."""
+        raw = self._raw(page_id)
+        self.stats.reads += 1
+        self._account_timing(page_id, arrival_ms)
+        return DiskPage.from_bytes(raw)
+
+    def write(self, page: DiskPage,
+              arrival_ms: Optional[float] = None) -> None:
+        """Physically write a page image, counting the I/O."""
+        self._raw(page.page_id)  # existence check
+        self._pages[page.page_id] = page.to_bytes()
+        self.stats.writes += 1
+        self._account_timing(page.page_id, arrival_ms)
+
+    def corrupt(self, page_id: PageId, byte_index: int = 100,
+                flip_mask: int = 0xFF) -> None:
+        """Fault injection: flip bits in a page's stored image.
+
+        The next :meth:`read` of the page will fail checksum verification
+        with a :class:`~repro.errors.StorageError` (unless the flipped
+        byte lies in the zero padding past the payload). Used by the test
+        suite to verify end-to-end corruption detection through the
+        buffer manager and database engine.
+        """
+        raw = bytearray(self._raw(page_id))
+        if not 0 <= byte_index < len(raw):
+            raise ConfigurationError(
+                f"byte index {byte_index} outside the page image")
+        raw[byte_index] ^= flip_mask
+        self._pages[page_id] = bytes(raw)
+
+    def _raw(self, page_id: PageId) -> bytes:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+
+    def _account_timing(self, page_id: PageId,
+                        arrival_ms: Optional[float]) -> None:
+        if self.queue is not None and arrival_ms is not None:
+            self.queue.submit(page_id, arrival_ms)

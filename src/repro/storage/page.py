@@ -1,0 +1,72 @@
+"""On-"disk" page representation.
+
+The paper's running example assumes "disk pages contain 4000 bytes of
+usable space"; we model a 4096-byte physical page with a small header
+(page id, LSN-style version counter, payload length, checksum) leaving
+4000 usable payload bytes — matching Example 1.1 exactly.
+
+Checksums let the test suite inject and detect torn/corrupted writes, and
+give the database substrate a cheap end-to-end integrity check.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, StorageError
+from ..types import PageId
+
+#: Physical page size in bytes.
+PAGE_SIZE = 4096
+
+#: Header layout: page_id (q), version (q), payload_len (i), checksum (I).
+_HEADER = struct.Struct("<qqiI")
+
+#: Usable payload bytes per page (paper: "4000 bytes of usable space").
+PAGE_PAYLOAD_SIZE = PAGE_SIZE - _HEADER.size
+
+
+@dataclass
+class DiskPage:
+    """A physical page: identity, version counter, and payload bytes."""
+
+    page_id: PageId
+    payload: bytes = b""
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.page_id < 0:
+            raise ConfigurationError("page ids are non-negative integers")
+        if len(self.payload) > PAGE_PAYLOAD_SIZE:
+            raise ConfigurationError(
+                f"payload of {len(self.payload)} bytes exceeds usable space "
+                f"({PAGE_PAYLOAD_SIZE} bytes)")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly PAGE_SIZE bytes with a checksum."""
+        checksum = zlib.crc32(self.payload)
+        header = _HEADER.pack(self.page_id, self.version,
+                              len(self.payload), checksum)
+        body = self.payload.ljust(PAGE_PAYLOAD_SIZE, b"\x00")
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DiskPage":
+        """Deserialize, verifying length and checksum."""
+        if len(raw) != PAGE_SIZE:
+            raise StorageError(
+                f"expected {PAGE_SIZE} raw bytes, got {len(raw)}")
+        page_id, version, payload_len, checksum = _HEADER.unpack_from(raw)
+        if not 0 <= payload_len <= PAGE_PAYLOAD_SIZE:
+            raise StorageError(f"corrupt payload length {payload_len}")
+        payload = raw[_HEADER.size:_HEADER.size + payload_len]
+        if zlib.crc32(payload) != checksum:
+            raise StorageError(f"checksum mismatch on page {page_id}")
+        return cls(page_id=page_id, payload=payload, version=version)
+
+    def with_payload(self, payload: bytes) -> "DiskPage":
+        """A new version of this page carrying new payload bytes."""
+        return DiskPage(page_id=self.page_id, payload=payload,
+                        version=self.version + 1)

@@ -1,0 +1,113 @@
+"""Reference-trace persistence.
+
+The paper's third experiment replays a captured production trace. This
+module defines a small, versioned, line-oriented text format for reference
+strings so that synthesized traces can be written once and replayed
+deterministically across benchmark runs:
+
+    #repro-trace v1
+    # free-form comment lines
+    <page> [r|w] [process] [txn]
+
+Missing fields default to read access with no process/transaction.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..errors import TraceFormatError
+from ..types import AccessKind, PageId, Reference
+
+_MAGIC = "#repro-trace v1"
+
+_KIND_CODE = {AccessKind.READ: "r", AccessKind.WRITE: "w"}
+_CODE_KIND = {"r": AccessKind.READ, "w": AccessKind.WRITE}
+
+
+def write_trace(destination: Union[str, Path, TextIO],
+                references: Iterable[Reference],
+                comment: str = "") -> int:
+    """Write a reference string; returns the number of references written."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="ascii") as handle:
+            return write_trace(handle, references, comment)
+    destination.write(_MAGIC + "\n")
+    if comment:
+        for line in comment.splitlines():
+            destination.write(f"# {line}\n")
+    count = 0
+    for ref in references:
+        fields = [str(ref.page), _KIND_CODE[ref.kind]]
+        if ref.process_id is not None or ref.txn_id is not None:
+            fields.append("" if ref.process_id is None else str(ref.process_id))
+        if ref.txn_id is not None:
+            fields.append(str(ref.txn_id))
+        destination.write(" ".join(fields) + "\n")
+        count += 1
+    return count
+
+
+def read_trace(source: Union[str, Path, TextIO]) -> Iterator[Reference]:
+    """Lazily parse a trace back into references.
+
+    Raises :class:`~repro.errors.TraceFormatError` on malformed input.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            yield from read_trace(handle)
+            return
+    first = source.readline().rstrip("\n")
+    if first != _MAGIC:
+        raise TraceFormatError(f"bad trace header: {first!r}")
+    for line_no, line in enumerate(source, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, line_no)
+
+
+def _parse_line(line: str, line_no: int) -> Reference:
+    parts = line.split()
+    try:
+        page = int(parts[0])
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: bad page id {parts[0]!r}") from None
+    if page < 0:
+        raise TraceFormatError(f"line {line_no}: negative page id")
+    kind = AccessKind.READ
+    process_id = None
+    txn_id = None
+    if len(parts) >= 2:
+        if parts[1] not in _CODE_KIND:
+            raise TraceFormatError(
+                f"line {line_no}: bad access kind {parts[1]!r}")
+        kind = _CODE_KIND[parts[1]]
+    try:
+        if len(parts) >= 3 and parts[2]:
+            process_id = int(parts[2])
+        if len(parts) >= 4 and parts[3]:
+            txn_id = int(parts[3])
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: bad process/txn field") from None
+    if len(parts) > 4:
+        raise TraceFormatError(f"line {line_no}: too many fields")
+    return Reference(page=page, kind=kind,
+                     process_id=process_id, txn_id=txn_id)
+
+
+def trace_to_pages(references: Iterable[Reference]) -> List[PageId]:
+    """Project a reference string down to its page-id sequence."""
+    return [ref.page for ref in references]
+
+
+def trace_round_trip(references: Iterable[Reference]) -> List[Reference]:
+    """Serialize + reparse in memory (test helper; asserts format fidelity)."""
+    buffer = io.StringIO()
+    write_trace(buffer, references)
+    buffer.seek(0)
+    return list(read_trace(buffer))

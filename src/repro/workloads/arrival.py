@@ -1,0 +1,113 @@
+"""Arrival processes: reference strings with wall-clock timestamps.
+
+The paper mostly measures time in reference counts, but two of its
+arguments are wall-clock arguments: the Five Minute Rule economics and
+Example 1.2's "long I/O queues build up". This module attaches simulated
+arrival times (milliseconds) to any workload's reference stream so those
+arguments can be exercised quantitatively:
+
+- :class:`UniformArrivals` — a fixed reference rate (the default
+  assumption behind :class:`~repro.clock.ReferenceClock`);
+- :class:`PoissonArrivals` — exponentially distributed gaps at a given
+  mean rate, the standard open-system model and the one that actually
+  builds queues at utilizations below 1;
+- :func:`drive_with_latency` — feed a timed stream through a simulator
+  and a :class:`~repro.storage.latency.DiskQueue`, returning hit ratio
+  plus latency statistics, the measurement behind the swamping example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from ..errors import ConfigurationError
+from ..stats import SeededRng, StreamingMoments, derive_seed
+from ..storage.latency import DiskQueue, DiskServiceModel
+from ..types import Reference
+from .base import Workload
+
+#: One timed reference: (arrival time in simulated ms, the reference).
+TimedReference = Tuple[float, Reference]
+
+
+class UniformArrivals:
+    """Constant-rate arrivals: one reference every 1/rate milliseconds."""
+
+    def __init__(self, workload: Workload,
+                 references_per_ms: float = 0.13) -> None:
+        if references_per_ms <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.workload = workload
+        self.references_per_ms = references_per_ms
+
+    def timed_references(self, count: int,
+                         seed: int = 0) -> Iterator[TimedReference]:
+        """Yield (arrival_ms, reference) pairs."""
+        gap = 1.0 / self.references_per_ms
+        for index, reference in enumerate(
+                self.workload.references(count, seed)):
+            yield index * gap, reference
+
+
+class PoissonArrivals:
+    """Poisson arrivals: i.i.d. exponential gaps with the given mean rate."""
+
+    def __init__(self, workload: Workload,
+                 references_per_ms: float = 0.13) -> None:
+        if references_per_ms <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.workload = workload
+        self.references_per_ms = references_per_ms
+
+    def timed_references(self, count: int,
+                         seed: int = 0) -> Iterator[TimedReference]:
+        """Yield (arrival_ms, reference) pairs with exponential gaps."""
+        rng = SeededRng(derive_seed(seed, 71))
+        now = 0.0
+        for reference in self.workload.references(count, seed):
+            # Inverse-CDF exponential; guard log(0).
+            u = max(rng.random(), 1e-12)
+            now += -math.log(u) / self.references_per_ms
+            yield now, reference
+
+
+class LatencyReport:
+    """Results of a timed simulation run."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.request_latency_ms = StreamingMoments()
+        self.miss_response_ms = StreamingMoments()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio over the timed run."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def drive_with_latency(simulator, timed_references,
+                       service_model: DiskServiceModel = None
+                       ) -> LatencyReport:
+    """Run a timed stream through a simulator and a disk queue.
+
+    Hits cost zero I/O latency; each miss submits a disk request at its
+    arrival time and experiences queueing + service delay. The report's
+    ``request_latency_ms`` averages over *all* requests — the end-user
+    response time the paper's Example 1.2 is about.
+    """
+    queue = DiskQueue(service_model or DiskServiceModel())
+    report = LatencyReport()
+    for arrival_ms, reference in timed_references:
+        outcome = simulator.access(reference)
+        if outcome.hit:
+            report.hits += 1
+            report.request_latency_ms.add(0.0)
+        else:
+            report.misses += 1
+            response = queue.submit(reference.page, arrival_ms)
+            report.miss_response_ms.add(response)
+            report.request_latency_ms.add(response)
+    return report

@@ -1,0 +1,128 @@
+"""Workload combinators: concatenation, round-robin, probabilistic mixes.
+
+These let experiments compose scenario streams — e.g. "Zipfian steady
+state, then a burst of scans, then steady state again" for the adaptivity
+benches — without every generator having to support every twist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..stats import SeededRng, derive_seed
+from ..types import PageId, Reference
+from .base import Workload
+
+
+class _Concatenation(Workload):
+    """Phases run back to back: (workload, count) pairs."""
+
+    def __init__(self, phases: Sequence[Tuple[Workload, int]]) -> None:
+        if not phases:
+            raise ConfigurationError("concatenation needs at least one phase")
+        if any(count < 0 for _, count in phases):
+            raise ConfigurationError("phase lengths cannot be negative")
+        self.phases = list(phases)
+
+    def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
+        emitted = 0
+        for index, (workload, phase_count) in enumerate(self.phases):
+            take = min(phase_count, count - emitted)
+            if take <= 0:
+                break
+            for ref in workload.references(take, derive_seed(seed, index)):
+                yield ref
+                emitted += 1
+        # If the caller asked for more than the phases provide, loop phases.
+        while emitted < count:
+            for index, (workload, phase_count) in enumerate(self.phases):
+                take = min(phase_count, count - emitted)
+                if take <= 0:
+                    return
+                wrapped_seed = derive_seed(seed, 1000 + emitted + index)
+                for ref in workload.references(take, wrapped_seed):
+                    yield ref
+                    emitted += 1
+
+    def pages(self) -> Sequence[PageId]:
+        universe: set = set()
+        for workload, _ in self.phases:
+            universe.update(workload.pages())
+        return sorted(universe)
+
+
+def concatenate(*phases: Tuple[Workload, int]) -> Workload:
+    """Run each (workload, reference_count) phase in order."""
+    return _Concatenation(phases)
+
+
+class _Interleave(Workload):
+    """Strict round-robin between component workloads."""
+
+    def __init__(self, components: Sequence[Workload]) -> None:
+        if not components:
+            raise ConfigurationError("interleave needs at least one component")
+        self.components = list(components)
+
+    def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
+        iterators = [component.references(count, derive_seed(seed, i))
+                     for i, component in enumerate(self.components)]
+        emitted = 0
+        index = 0
+        while emitted < count:
+            ref = next(iterators[index % len(iterators)], None)
+            if ref is None:
+                return
+            yield ref
+            emitted += 1
+            index += 1
+
+    def pages(self) -> Sequence[PageId]:
+        universe: set = set()
+        for component in self.components:
+            universe.update(component.pages())
+        return sorted(universe)
+
+
+def interleave(*components: Workload) -> Workload:
+    """Alternate references between components, round-robin."""
+    return _Interleave(components)
+
+
+class ProbabilisticMix(Workload):
+    """Each reference comes from component i with probability weight_i."""
+
+    def __init__(self, components: Sequence[Tuple[Workload, float]]) -> None:
+        if not components:
+            raise ConfigurationError("mix needs at least one component")
+        total = sum(weight for _, weight in components)
+        if total <= 0 or any(weight < 0 for _, weight in components):
+            raise ConfigurationError("mix weights must be non-negative, sum > 0")
+        self.components: List[Workload] = [w for w, _ in components]
+        self.weights = [weight / total for _, weight in components]
+
+    def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
+        rng = SeededRng(seed)
+        iterators = [component.references(count, derive_seed(seed, i))
+                     for i, component in enumerate(self.components)]
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in self.weights:
+            acc += weight
+            cumulative.append(acc)
+        emitted = 0
+        while emitted < count:
+            u = rng.random()
+            choice = next(i for i, edge in enumerate(cumulative) if u <= edge)
+            ref = next(iterators[choice], None)
+            if ref is None:
+                return
+            yield ref
+            emitted += 1
+
+    def pages(self) -> Sequence[PageId]:
+        universe: set = set()
+        for component in self.components:
+            universe.update(component.pages())
+        return sorted(universe)

@@ -1,0 +1,66 @@
+"""Trace replay: a workload backed by a captured reference string.
+
+This is how the paper's own Section 4.3 experiment operated — "the trace
+was fed into our simulation model" — and it closes the loop between the
+capture side (:class:`repro.buffer.TraceRecorder`, the db engine) and the
+measurement side (the experiment runner): any captured or file-persisted
+trace becomes a first-class workload.
+
+Replay is deterministic and seed-independent by nature; asking for more
+references than the trace holds either truncates (default) or cycles.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..storage.trace_io import read_trace
+from ..types import PageId, Reference, as_reference
+from .base import Workload
+
+
+class TraceReplayWorkload(Workload):
+    """Replay a fixed reference string as a workload."""
+
+    def __init__(self, references: Sequence["Reference | PageId"],
+                 cycle: bool = False) -> None:
+        materialized = [as_reference(item) for item in references]
+        if not materialized:
+            raise ConfigurationError("cannot replay an empty trace")
+        self._references = materialized
+        self.cycle = cycle
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path],
+                  cycle: bool = False) -> "TraceReplayWorkload":
+        """Load a trace written by :func:`repro.storage.write_trace`."""
+        return cls(list(read_trace(path)), cycle=cycle)
+
+    def __len__(self) -> int:
+        return len(self._references)
+
+    def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
+        """Yield up to ``count`` references; ``seed`` is ignored (replay).
+
+        Without ``cycle``, a request longer than the trace raises — a
+        truncated experiment protocol is a configuration error, not data.
+        """
+        if count <= len(self._references):
+            yield from self._references[:count]
+            return
+        if not self.cycle:
+            raise ConfigurationError(
+                f"trace holds {len(self._references)} references, "
+                f"{count} requested (pass cycle=True to loop)")
+        emitted = 0
+        while emitted < count:
+            for reference in self._references:
+                if emitted >= count:
+                    return
+                yield reference
+                emitted += 1
+
+    def pages(self) -> Sequence[PageId]:
+        return sorted({reference.page for reference in self._references})

@@ -1,0 +1,139 @@
+"""Example 1.1 as an *executed* workload.
+
+Where :class:`~repro.workloads.two_pool.TwoPoolWorkload` models Example
+1.1 statistically, this workload produces the same reference pattern by
+actually running transactions against the miniature database engine: a
+customer table with a clustered CUST-ID B-tree (built by
+:func:`repro.db.executor.build_customer_database`) is hit with random
+point lookups — each one touching the B-tree root, a leaf page, and a
+record page, i.e. the paper's I1, R1, I2, R2, ... string with the root
+page as a third, ultra-hot stratum.
+
+Optional realism knobs produce the Section 2.1.1 correlated reference
+pairs honestly:
+
+- ``update_fraction`` — a lookup that updates re-touches its record page
+  before commit (type 1, intra-transaction);
+- ``abort_probability`` — transactions are aborted and retried by the
+  :class:`~repro.db.transaction.TransactionManager`, re-issuing the same
+  accesses (type 2, transaction-retry);
+- ``locality_runs`` — a process occasionally processes several customers
+  from the same record page in a row (type 3, intra-process batching).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..buffer.pool import BufferPool, TraceRecorder
+from ..db.executor import CustomerDatabase, build_customer_database
+from ..db.transaction import TransactionManager
+from ..errors import ConfigurationError, TransactionAborted
+from ..policies.lru import LRUPolicy
+from ..stats import SeededRng, derive_seed
+from ..storage.disk import SimulatedDisk
+from ..types import PageId, Reference
+from .base import Workload
+
+
+class CustomerLookupWorkload(Workload):
+    """Random indexed customer lookups executed on the real engine."""
+
+    def __init__(self, customers: int = 5_000,
+                 update_fraction: float = 0.2,
+                 abort_probability: float = 0.0,
+                 locality_run_length: int = 1,
+                 build_seed: int = 0) -> None:
+        if customers <= 0:
+            raise ConfigurationError("need at least one customer")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ConfigurationError("update_fraction must lie in [0, 1]")
+        if locality_run_length <= 0:
+            raise ConfigurationError("locality_run_length must be positive")
+        self.customers = customers
+        self.update_fraction = update_fraction
+        self.abort_probability = abort_probability
+        self.locality_run_length = locality_run_length
+        self.build_seed = build_seed
+        self._db: Optional[CustomerDatabase] = None
+        self._recorder: Optional[TraceRecorder] = None
+
+    # -- engine plumbing ----------------------------------------------------------
+
+    def _database(self) -> CustomerDatabase:
+        """Build the engine lazily; the buffer pool is oversized so that
+        generation-time buffering never filters the reference string."""
+        if self._db is None:
+            disk = SimulatedDisk()
+            pool = BufferPool(disk, LRUPolicy(),
+                              capacity=max(64, self.customers))
+            self._db = build_customer_database(
+                pool, customers=self.customers, seed=self.build_seed)
+            self._recorder = TraceRecorder()
+            pool.observer = self._recorder
+        return self._db
+
+    # -- workload protocol ------------------------------------------------------------
+
+    def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
+        database = self._database()
+        recorder = self._recorder
+        assert recorder is not None
+        rng = SeededRng(derive_seed(seed, 17))
+        manager = TransactionManager(
+            abort_probability=self.abort_probability,
+            seed=derive_seed(seed, 23))
+        emitted = 0
+        cursor = len(recorder.references)
+        while emitted < count:
+            self._run_one_transaction(database, manager, rng)
+            fresh = recorder.references[cursor:]
+            cursor = len(recorder.references)
+            for reference in fresh:
+                if emitted >= count:
+                    break
+                yield reference
+                emitted += 1
+
+    def _run_one_transaction(self, database: CustomerDatabase,
+                             manager: TransactionManager,
+                             rng: SeededRng) -> None:
+        first = rng.randrange(self.customers)
+        run = 1
+        if self.locality_run_length > 1 and rng.random() < 0.5:
+            run = 1 + rng.randrange(self.locality_run_length)
+        do_update = rng.random() < self.update_fraction
+
+        def body(txn) -> None:
+            database.pool.set_context(process_id=txn.process_id,
+                                      txn_id=txn.txn_id)
+            try:
+                for offset in range(run):
+                    cust_id = (first + offset) % self.customers
+                    database.lookup(cust_id, txn=txn)
+                    if do_update:
+                        database.update_customer(
+                            cust_id, rng.randrange(1_000_000), txn=txn)
+            finally:
+                database.pool.clear_context()
+
+        try:
+            manager.run(body, process_id=rng.randrange(8))
+        except TransactionAborted:
+            # Retry budget exhausted: the accesses still happened, which
+            # is all the reference string cares about.
+            pass
+
+    # -- metadata ---------------------------------------------------------------------
+
+    def pages(self) -> Sequence[PageId]:
+        database = self._database()
+        pool_pages: List[PageId] = [database.index.root_page_id]
+        pool_pages.extend(database.index_leaf_pages())
+        pool_pages.extend(database.record_pages())
+        return pool_pages
+
+    def hot_pages(self) -> List[PageId]:
+        """Root + leaf pages — the pages LRU-2 should keep resident."""
+        database = self._database()
+        return [database.index.root_page_id] + database.index_leaf_pages()

@@ -1,0 +1,119 @@
+"""Tests for the Section 3 Bayesian machinery (Lemmas 3.3-3.6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    backward_distance_posterior,
+    expected_reference_probability,
+    is_monotone_in_distance,
+)
+from repro.analysis.bayes import posterior_summary
+from repro.errors import ConfigurationError
+
+TWO_POOL_BETA = [1 / 4, 1 / 4, 1 / 8, 1 / 8, 1 / 8, 1 / 8]
+
+
+def normalized(values):
+    total = sum(values)
+    return [v / total for v in values]
+
+
+class TestPosterior:
+    def test_posterior_is_a_distribution(self):
+        posterior = backward_distance_posterior(TWO_POOL_BETA, k=5, K=2)
+        assert sum(posterior) == pytest.approx(1.0)
+        assert all(p >= 0 for p in posterior)
+
+    def test_short_distance_favors_hot_components(self):
+        posterior = backward_distance_posterior(TWO_POOL_BETA, k=2, K=2)
+        assert posterior[0] > posterior[2]
+
+    def test_long_distance_favors_cold_components(self):
+        posterior = backward_distance_posterior(TWO_POOL_BETA, k=200, K=2)
+        assert posterior[2] > posterior[0]
+
+    def test_matches_closed_form_eq_3_6(self):
+        beta = normalized([0.5, 0.3, 0.2])
+        k, K = 7, 2
+        weights = [b ** K * (1 - b) ** (k - K + 1) for b in beta]
+        expected = [w / sum(weights) for w in weights]
+        posterior = backward_distance_posterior(beta, k=k, K=K)
+        for ours, ref in zip(posterior, expected):
+            assert ours == pytest.approx(ref, rel=1e-9)
+
+    def test_impossible_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backward_distance_posterior(TWO_POOL_BETA, k=1, K=2)
+
+    def test_unnormalized_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backward_distance_posterior([0.5, 0.2], k=5, K=2)
+
+    def test_no_underflow_for_huge_distances(self):
+        posterior = backward_distance_posterior(TWO_POOL_BETA, k=100_000,
+                                                K=2)
+        assert sum(posterior) == pytest.approx(1.0)
+        assert not any(math.isnan(p) for p in posterior)
+
+
+class TestExpectedProbability:
+    def test_matches_closed_form_eq_3_7(self):
+        beta = normalized([0.6, 0.3, 0.1])
+        k, K = 9, 2
+        numerator = sum(b ** (K + 1) * (1 - b) ** (k - K + 1) for b in beta)
+        denominator = sum(b ** K * (1 - b) ** (k - K + 1) for b in beta)
+        assert expected_reference_probability(beta, k=k, K=K) == (
+            pytest.approx(numerator / denominator, rel=1e-9))
+
+    def test_lemma_36_monotone_decreasing_in_k(self):
+        estimates = [expected_reference_probability(TWO_POOL_BETA, k, K=2)
+                     for k in range(2, 120)]
+        assert all(later < earlier
+                   for earlier, later in zip(estimates, estimates[1:]))
+
+    def test_is_monotone_helper(self):
+        assert is_monotone_in_distance(TWO_POOL_BETA,
+                                       distances=range(2, 60), K=2)
+
+    def test_uniform_beta_gives_constant_estimate(self):
+        uniform = [1 / 5] * 5
+        first = expected_reference_probability(uniform, k=2, K=2)
+        later = expected_reference_probability(uniform, k=50, K=2)
+        assert first == pytest.approx(later)
+        assert first == pytest.approx(1 / 5)
+
+    def test_estimate_bounded_by_component_range(self):
+        beta = normalized([0.7, 0.2, 0.1])
+        for k in (2, 5, 20, 100):
+            estimate = expected_reference_probability(beta, k=k, K=2)
+            assert min(beta) <= estimate <= max(beta)
+
+    @given(k=st.integers(min_value=3, max_value=5000),
+           K=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotonicity_pairwise(self, k, K):
+        if k < K:
+            k = K
+        smaller = expected_reference_probability(TWO_POOL_BETA, k, K)
+        larger = expected_reference_probability(TWO_POOL_BETA, k + 1, K)
+        assert larger <= smaller + 1e-12
+
+    def test_summary_bundle(self):
+        summary = posterior_summary(TWO_POOL_BETA, k=3, K=2)
+        assert 0.0 < summary["expected_probability"] < 1.0
+        assert summary["mode_mass"] > 0.0
+
+
+class TestLRUKDecisionRule:
+    def test_smaller_backward_distance_means_higher_estimate(self):
+        """Lemma 3.6 — the theorem behind Definition 2.2's victim rule."""
+        beta = normalized([0.4, 0.3, 0.2, 0.1])
+        for K in (1, 2, 3):
+            for k_small in range(K, 30):
+                e_small = expected_reference_probability(beta, k_small, K)
+                e_large = expected_reference_probability(beta, k_small + 5, K)
+                assert e_small > e_large

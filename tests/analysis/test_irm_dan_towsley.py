@@ -1,0 +1,140 @@
+"""Tests for IRM machinery and the analytic LRU/FIFO approximations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import (
+    a0_hit_ratio,
+    expected_cost,
+    fifo_hit_ratio_approximation,
+    geometric_interarrival_pmf,
+    interarrival_mean,
+    lru_hit_ratio_approximation,
+    sample_irm_string,
+)
+from repro.analysis.irm import a0_resident_set, normalized, uniform_probabilities
+from repro.errors import ConfigurationError
+from repro.policies import FIFOPolicy, LRUPolicy
+from repro.sim import CacheSimulator
+from repro.workloads import ZipfianWorkload
+
+
+class TestGeometricInterarrival:
+    def test_pmf_sums_to_one(self):
+        beta = 0.2
+        total = sum(geometric_interarrival_pmf(beta, k)
+                    for k in range(1, 500))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean_is_reciprocal(self):
+        beta = 0.25
+        mean = sum(k * geometric_interarrival_pmf(beta, k)
+                   for k in range(1, 2000))
+        assert mean == pytest.approx(interarrival_mean(beta), rel=1e-3)
+
+    def test_eq_31_values(self):
+        assert geometric_interarrival_pmf(0.5, 1) == 0.5
+        assert geometric_interarrival_pmf(0.5, 3) == 0.125
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            geometric_interarrival_pmf(0.0, 1)
+        with pytest.raises(ConfigurationError):
+            geometric_interarrival_pmf(0.5, 0)
+
+
+class TestExpectedCost:
+    def test_definition_37(self):
+        probabilities = {1: 0.5, 2: 0.3, 3: 0.2}
+        assert expected_cost(probabilities, resident=[1, 2]) == (
+            pytest.approx(0.2))
+
+    def test_full_buffer_zero_cost(self):
+        probabilities = {1: 0.6, 2: 0.4}
+        assert expected_cost(probabilities, resident=[1, 2]) == (
+            pytest.approx(0.0))
+
+    def test_unknown_resident_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_cost({1: 1.0}, resident=[2])
+
+    def test_a0_resident_set_minimizes_cost(self):
+        probabilities = normalized({p: 1.0 / (p + 1) for p in range(10)})
+        best = a0_resident_set(probabilities, capacity=3)
+        best_cost = expected_cost(probabilities, best)
+        worst = sorted(probabilities)[-3:]
+        assert best_cost <= expected_cost(probabilities, worst)
+
+    def test_a0_hit_ratio_closed_form(self):
+        probabilities = {1: 0.5, 2: 0.3, 3: 0.2}
+        assert a0_hit_ratio(probabilities, capacity=2) == pytest.approx(0.8)
+
+
+class TestSampleIrm:
+    def test_empirical_frequencies_match(self):
+        probabilities = {1: 0.7, 2: 0.2, 3: 0.1}
+        counts = Counter(r.page for r in
+                         sample_irm_string(probabilities, 30_000, seed=1))
+        assert counts[1] / 30_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_uniform_helper(self):
+        probabilities = uniform_probabilities(4)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            uniform_probabilities(0)
+
+
+class TestDanTowsleyApproximations:
+    @pytest.fixture(scope="class")
+    def zipf(self):
+        workload = ZipfianWorkload(n=500)
+        return workload, workload.reference_probabilities()
+
+    def _simulate(self, policy, workload, capacity):
+        simulator = CacheSimulator(policy, capacity)
+        refs = workload.references(30_000, seed=3)
+        for index, ref in enumerate(refs):
+            if index == 5_000:
+                simulator.start_measurement()
+            simulator.access(ref)
+        return simulator.hit_ratio
+
+    def test_lru_approximation_close_to_simulation(self, zipf):
+        workload, probabilities = zipf
+        for capacity in (25, 100, 250):
+            analytic = lru_hit_ratio_approximation(probabilities, capacity)
+            simulated = self._simulate(LRUPolicy(), workload, capacity)
+            assert analytic == pytest.approx(simulated, abs=0.04)
+
+    def test_fifo_approximation_close_to_simulation(self, zipf):
+        workload, probabilities = zipf
+        for capacity in (25, 100):
+            analytic = fifo_hit_ratio_approximation(probabilities, capacity)
+            simulated = self._simulate(FIFOPolicy(), workload, capacity)
+            assert analytic == pytest.approx(simulated, abs=0.04)
+
+    def test_lru_dominates_fifo_analytically(self, zipf):
+        _, probabilities = zipf
+        for capacity in (10, 50, 200):
+            assert (lru_hit_ratio_approximation(probabilities, capacity)
+                    >= fifo_hit_ratio_approximation(probabilities, capacity))
+
+    def test_oversized_cache_hits_everything(self, zipf):
+        _, probabilities = zipf
+        assert lru_hit_ratio_approximation(probabilities, 10_000) == 1.0
+        assert fifo_hit_ratio_approximation(probabilities, 10_000) == 1.0
+
+    def test_a0_dominates_lru_analytically(self, zipf):
+        _, probabilities = zipf
+        for capacity in (10, 50, 200):
+            assert (a0_hit_ratio(probabilities, capacity)
+                    >= lru_hit_ratio_approximation(probabilities, capacity)
+                    - 1e-9)
+
+    def test_invalid_inputs(self, zipf):
+        _, probabilities = zipf
+        with pytest.raises(ConfigurationError):
+            lru_hit_ratio_approximation(probabilities, 0)
+        with pytest.raises(ConfigurationError):
+            fifo_hit_ratio_approximation({}, 10)

@@ -1,0 +1,70 @@
+"""Tests for the Theorem 3.8 empirical verifier."""
+
+import pytest
+
+from repro.analysis import check_theorem_3_8
+from repro.analysis.irm import sample_irm_string
+from repro.core import LRUKPolicy
+from repro.errors import ConfigurationError
+from repro.sim import CacheSimulator
+
+
+def run_and_check(probabilities, capacity, count, k=2, seed=0,
+                  check_every=50):
+    """Drive an IRM string and check the theorem at intervals."""
+    policy = LRUKPolicy(k=k)
+    simulator = CacheSimulator(policy, capacity)
+    reports = []
+    last_admitted = None
+    for index, reference in enumerate(
+            sample_irm_string(probabilities, count, seed=seed)):
+        outcome = simulator.access(reference)
+        if not outcome.hit:
+            last_admitted = reference.page
+        if index and index % check_every == 0:
+            reports.append(check_theorem_3_8(
+                policy, probabilities, simulator.now, last_admitted))
+    return reports
+
+
+TWO_TIER = {page: (0.15 if page < 4 else 0.4 / 16) for page in range(20)}
+
+
+class TestStructuralClaim:
+    def test_holds_along_an_irm_run(self):
+        reports = run_and_check(TWO_TIER, capacity=6, count=2000)
+        assert reports
+        assert all(report.holds for report in reports), [
+            (r.time, r.missing, r.surplus)
+            for r in reports if not r.holds][:3]
+
+    def test_holds_for_k3(self):
+        reports = run_and_check(TWO_TIER, capacity=5, count=1500, k=3)
+        assert all(report.holds for report in reports)
+
+    def test_rejects_nonzero_crp(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5)
+        simulator = CacheSimulator(policy, 4)
+        simulator.access(1)
+        with pytest.raises(ConfigurationError):
+            check_theorem_3_8(policy, {1: 1.0}, simulator.now)
+
+
+class TestCostClaim:
+    def test_cost_gap_is_tiny(self):
+        """LRU-K acts optimally 'in all but (perhaps) one of its m buffer
+        slots, an insignificant cost increment for large m'."""
+        reports = run_and_check(TWO_TIER, capacity=8, count=2500, seed=3)
+        worst_gap = max(report.cost_gap for report in reports)
+        # One slot's worth of estimate is the theorem's allowance.
+        assert worst_gap <= max(TWO_TIER.values()) + 1e-9
+
+    def test_costs_are_probabilities(self):
+        reports = run_and_check(TWO_TIER, capacity=6, count=1000, seed=4)
+        for report in reports:
+            assert 0.0 <= report.optimal_cost <= report.lruk_cost <= 1.0
+
+    def test_larger_buffer_lowers_cost(self):
+        small = run_and_check(TWO_TIER, capacity=4, count=1500, seed=5)
+        large = run_and_check(TWO_TIER, capacity=10, count=1500, seed=5)
+        assert large[-1].lruk_cost < small[-1].lruk_cost

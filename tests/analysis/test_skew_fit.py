@@ -1,0 +1,75 @@
+"""Tests for the self-similar skew fit, including two paper prose claims."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_self_similar
+from repro.analysis.skew_fit import describe_skew
+from repro.errors import ConfigurationError
+from repro.workloads import TwoPoolWorkload, ZipfianWorkload
+from repro.workloads.zipfian import zipf_theta
+
+
+class TestFitMechanics:
+    def test_uniform_trace_fits_theta_one(self):
+        trace = list(range(200)) * 20
+        fit = fit_self_similar(trace)
+        assert fit.theta == pytest.approx(1.0, abs=0.05)
+        assert fit.is_uniform
+
+    def test_alpha_beta_roundtrip(self):
+        fit = fit_self_similar(list(range(100)) * 5)
+        beta = 0.2
+        alpha = fit.alpha_for_beta(beta)
+        assert math.log(alpha) / math.log(beta) == pytest.approx(
+            fit.theta, rel=1e-9)
+
+    def test_prediction_matches_definition(self):
+        fit = fit_self_similar(list(range(50)) * 3)
+        assert fit.mass_of_top_fraction(0.5) == pytest.approx(
+            0.5 ** fit.theta)
+
+    def test_invalid_inputs(self):
+        fit = fit_self_similar([1, 1, 2])
+        with pytest.raises(ConfigurationError):
+            fit.alpha_for_beta(1.0)
+        with pytest.raises(ConfigurationError):
+            fit.mass_of_top_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            fit_self_similar([1, 2], fractions=())
+        with pytest.raises(ConfigurationError):
+            fit_self_similar([1, 2], fractions=(1.5,))
+
+    def test_describe_skew_is_readable(self):
+        text = describe_skew([0] * 80 + list(range(1, 21)))
+        assert "of references hit" in text
+        assert "theta=" in text
+
+
+class TestPaperClaims:
+    def test_zipfian_workload_recovers_its_theta(self):
+        """The Table 4.2 workload must fit its own construction."""
+        workload = ZipfianWorkload(n=1000, alpha=0.8, beta=0.2)
+        trace = [r.page for r in workload.references(60_000, seed=1)]
+        fit = fit_self_similar(trace)
+        assert fit.theta == pytest.approx(zipf_theta(0.8, 0.2), rel=0.12)
+        assert fit.alpha_for_beta(0.2) == pytest.approx(0.8, abs=0.05)
+        assert fit.residual < 0.1
+
+    def test_two_pool_corresponds_to_alpha_half_beta_hundredth(self):
+        """Paper §4.2: 'The two pool workload of Section 4.1 roughly
+        corresponds to alpha = 0.5 and beta = 0.01'."""
+        workload = TwoPoolWorkload(n1=100, n2=10_000)
+        trace = [r.page for r in workload.references(120_000, seed=2)]
+        from repro.analysis import skew_profile
+        profile = skew_profile(trace)
+        # Direct check: the hottest 1% of touched pages (~the 100-page
+        # hot pool) carries about half of the references.
+        assert profile.mass_of_top_fraction(0.01) == pytest.approx(
+            0.5, abs=0.05)
+        # And the fitted law expressed at beta=0.01 agrees loosely (the
+        # two-pool distribution is a step function, not truly
+        # self-similar — hence the paper's "roughly").
+        fit = fit_self_similar(profile)
+        assert 0.35 <= fit.alpha_for_beta(0.01) <= 0.75

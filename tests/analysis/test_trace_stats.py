@@ -1,0 +1,85 @@
+"""Tests for trace profiling (skew curves and the Five Minute census)."""
+
+import pytest
+
+from repro.analysis import five_minute_census, profile_trace, skew_profile
+from repro.errors import ConfigurationError
+from repro.types import Reference
+
+
+class TestSkewProfile:
+    def test_uniform_trace(self):
+        trace = list(range(10)) * 10
+        profile = skew_profile(trace)
+        assert profile.touched_pages == 10
+        assert profile.total_references == 100
+        assert profile.mass_of_top_fraction(0.5) == pytest.approx(0.5)
+
+    def test_skewed_trace(self):
+        trace = [0] * 90 + list(range(1, 11))
+        profile = skew_profile(trace)
+        assert profile.mass_of_top_fraction(1 / 11) == pytest.approx(0.9)
+
+    def test_fraction_for_mass(self):
+        trace = [0] * 80 + list(range(1, 21))
+        profile = skew_profile(trace)
+        assert profile.fraction_for_mass(0.8) == pytest.approx(1 / 21)
+        assert profile.fraction_for_mass(1.0) == pytest.approx(1.0)
+
+    def test_accepts_references(self):
+        trace = [Reference(page=1), Reference(page=1), Reference(page=2)]
+        profile = skew_profile(trace)
+        assert profile.touched_pages == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            skew_profile([])
+
+    def test_paper_style_rows(self):
+        profile = skew_profile([0] * 50 + list(range(1, 51)))
+        rows = dict(profile.paper_style_rows())
+        assert rows[1.00] == pytest.approx(1.0)
+
+
+class TestFiveMinuteCensus:
+    def test_fast_page_qualifies(self):
+        # Page 0 re-referenced every 2 steps; window 5 -> qualifies.
+        trace = [0, 1, 0, 2, 0, 3, 0, 4]
+        census = five_minute_census(trace, window_references=5)
+        assert census.qualifying_pages == 1
+        assert census.touched_pages == 5
+
+    def test_slow_page_does_not_qualify(self):
+        trace = [0] + [i for i in range(1, 50)] + [0]
+        census = five_minute_census(trace, window_references=10)
+        assert census.qualifying_pages == 0
+        assert census.re_referenced_pages == 1
+
+    def test_single_reference_pages_never_qualify(self):
+        census = five_minute_census(list(range(100)),
+                                    window_references=1000)
+        assert census.qualifying_pages == 0
+
+    def test_mean_criterion_uses_span_over_gaps(self):
+        # Gaps 1 and 9: mean 5 -> qualifies at window 5, not at 4.
+        trace = [0, 0] + list(range(1, 9)) + [0]
+        assert five_minute_census(trace, 5).qualifying_pages == 1
+        assert five_minute_census(trace, 4).qualifying_pages == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            five_minute_census([1], window_references=0)
+
+    def test_qualifying_fraction(self):
+        census = five_minute_census([0, 0, 1], window_references=5)
+        assert census.qualifying_fraction == pytest.approx(1 / 2)
+
+
+class TestProfileTrace:
+    def test_combined_profile(self):
+        trace = [0, 0, 0, 1, 2, 3, 0]
+        profile = profile_trace(trace, five_minute_window=10)
+        assert profile.references == 7
+        assert profile.touched_pages == 4
+        assert profile.census.qualifying_pages == 1
+        assert len(profile.summary_lines()) >= 3

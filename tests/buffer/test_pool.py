@@ -1,0 +1,183 @@
+"""Tests for the full buffer manager."""
+
+import pytest
+
+from repro.buffer import BufferPool, TraceRecorder
+from repro.buffer.frame import Frame
+from repro.core import LRUKPolicy
+from repro.errors import (
+    ConfigurationError,
+    InvalidPinError,
+    NoEvictableFrameError,
+    PageNotResidentError,
+)
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+from repro.types import AccessKind
+
+
+def make_pool(capacity=3, policy=None, observer=None):
+    disk = SimulatedDisk()
+    disk.allocate_many(20)
+    pool = BufferPool(disk, policy if policy is not None else LRUPolicy(),
+                      capacity, observer=observer)
+    return disk, pool
+
+
+class TestFrame:
+    def test_pin_unpin_balance(self):
+        frame = Frame(0)
+        frame.pin()
+        frame.pin()
+        frame.unpin()
+        frame.unpin(dirty=True)
+        assert frame.pin_count == 0
+        assert frame.dirty
+
+    def test_over_unpin_rejected(self):
+        frame = Frame(0)
+        with pytest.raises(InvalidPinError):
+            frame.unpin()
+
+
+class TestFetch:
+    def test_miss_then_hit(self):
+        disk, pool = make_pool()
+        pool.fetch(0, pin=False)
+        pool.fetch(0, pin=False)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert disk.stats.reads == 1
+
+    def test_capacity_validated(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ConfigurationError):
+            BufferPool(disk, LRUPolicy(), capacity=0)
+
+    def test_eviction_when_full(self):
+        disk, pool = make_pool(capacity=2)
+        for page in [0, 1, 2]:
+            pool.fetch(page, pin=False)
+        assert pool.stats.evictions == 1
+        assert not pool.is_resident(0)
+
+    def test_pinned_page_never_evicted(self):
+        disk, pool = make_pool(capacity=2)
+        pool.fetch(0, pin=True)           # pinned
+        pool.fetch(1, pin=False)
+        pool.fetch(2, pin=False)          # must evict 1, not 0
+        assert pool.is_resident(0)
+        assert not pool.is_resident(1)
+
+    def test_all_pinned_raises(self):
+        disk, pool = make_pool(capacity=2)
+        pool.fetch(0, pin=True)
+        pool.fetch(1, pin=True)
+        with pytest.raises(NoEvictableFrameError):
+            pool.fetch(2)
+
+    def test_unpin_restores_evictability(self):
+        disk, pool = make_pool(capacity=2)
+        pool.fetch(0, pin=True)
+        pool.fetch(1, pin=True)
+        pool.unpin(0)
+        pool.fetch(2, pin=False)
+        assert not pool.is_resident(0)
+
+    def test_unpin_nonresident_rejected(self):
+        disk, pool = make_pool()
+        with pytest.raises(PageNotResidentError):
+            pool.unpin(5)
+
+
+class TestDirtyWriteback:
+    def test_dirty_eviction_writes_back(self):
+        disk, pool = make_pool(capacity=1)
+        pool.fetch(0, pin=True, kind=AccessKind.WRITE)
+        pool.write_payload(0, b"modified")
+        pool.unpin(0, dirty=True)
+        pool.fetch(1, pin=False)  # evicts dirty page 0
+        assert pool.stats.dirty_evictions == 1
+        assert disk.read(0).payload == b"modified"
+
+    def test_clean_eviction_skips_write(self):
+        disk, pool = make_pool(capacity=1)
+        pool.fetch(0, pin=False)
+        writes_before = disk.stats.writes
+        pool.fetch(1, pin=False)
+        assert disk.stats.writes == writes_before
+
+    def test_flush_single_page(self):
+        disk, pool = make_pool()
+        pool.fetch(0, pin=True, kind=AccessKind.WRITE)
+        pool.write_payload(0, b"flushed")
+        pool.unpin(0, dirty=True)
+        assert pool.flush(0) is True
+        assert pool.flush(0) is False     # now clean
+        assert disk.read(0).payload == b"flushed"
+
+    def test_flush_all(self):
+        disk, pool = make_pool(capacity=3)
+        for page in range(3):
+            pool.fetch(page, pin=True, kind=AccessKind.WRITE)
+            pool.write_payload(page, f"page-{page}".encode())
+            pool.unpin(page, dirty=True)
+        assert pool.flush_all() == 3
+        for page in range(3):
+            assert disk.read(page).payload == f"page-{page}".encode()
+
+    def test_write_fetch_marks_dirty(self):
+        disk, pool = make_pool(capacity=1)
+        pool.fetch(0, pin=False, kind=AccessKind.WRITE)
+        pool.fetch(1, pin=False)
+        assert pool.stats.dirty_evictions == 1
+
+
+class TestEvictPage:
+    def test_forced_eviction(self):
+        disk, pool = make_pool()
+        pool.fetch(0, pin=False)
+        pool.evict_page(0)
+        assert not pool.is_resident(0)
+        # The freed frame is reused without an eviction.
+        pool.fetch(1, pin=False)
+        assert pool.stats.evictions == 1  # only the forced one
+
+    def test_pinned_page_refuses_forced_eviction(self):
+        disk, pool = make_pool()
+        pool.fetch(0, pin=True)
+        with pytest.raises(NoEvictableFrameError):
+            pool.evict_page(0)
+
+
+class TestObserverAndContext:
+    def test_observer_sees_every_reference(self):
+        recorder = TraceRecorder()
+        disk, pool = make_pool(observer=recorder)
+        pool.fetch(0, pin=False)
+        pool.fetch(0, pin=False, kind=AccessKind.WRITE)
+        assert recorder.pages() == [0, 0]
+        assert recorder.references[1].is_write
+
+    def test_pinned_page_context_manager(self):
+        disk, pool = make_pool()
+        with pool.pinned_page(0) as frame:
+            assert frame.pin_count == 1
+            assert pool.pin_count(0) == 1
+        assert pool.pin_count(0) == 0
+
+    def test_works_with_lruk_policy(self):
+        disk, pool = make_pool(capacity=2, policy=LRUKPolicy(k=2))
+        for page in [0, 1, 0, 1, 2, 0]:
+            pool.fetch(page, pin=False)
+        # 0 and 1 have two references; 2 had infinite backward distance
+        # and was evicted on 0's return.
+        assert pool.is_resident(0)
+        assert not pool.is_resident(2)
+
+    def test_stats_hit_ratio(self):
+        disk, pool = make_pool()
+        pool.fetch(0, pin=False)
+        pool.fetch(0, pin=False)
+        pool.fetch(1, pin=False)
+        assert pool.stats.hit_ratio == pytest.approx(1 / 3)

@@ -1,0 +1,106 @@
+"""Property-based stress tests for the buffer pool with pins and writes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import BufferPool
+from repro.core import LRUKPolicy
+from repro.errors import NoEvictableFrameError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+from repro.types import AccessKind
+
+PAGES = 12
+CAPACITY = 4
+
+# An operation is (op, page): fetch-read, fetch-write, unpin, flush.
+operations = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "unpin", "flush"]),
+              st.integers(min_value=0, max_value=PAGES - 1)),
+    min_size=1, max_size=120)
+
+
+def build_pool(policy):
+    disk = SimulatedDisk()
+    disk.allocate_many(PAGES)
+    return disk, BufferPool(disk, policy, CAPACITY)
+
+
+def run_ops(pool, ops):
+    """Apply operations, tracking our own pin model."""
+    pins = {}
+    for op, page in ops:
+        if op in ("read", "write"):
+            kind = AccessKind.WRITE if op == "write" else AccessKind.READ
+            try:
+                pool.fetch(page, pin=True, kind=kind)
+            except NoEvictableFrameError:
+                # Legal refusal: everything is pinned. Drop one pin to
+                # keep the sequence progressing.
+                victim = next(iter(pins))
+                pool.unpin(victim)
+                pins[victim] -= 1
+                if pins[victim] == 0:
+                    del pins[victim]
+                continue
+            pins[page] = pins.get(page, 0) + 1
+        elif op == "unpin":
+            if pins.get(page):
+                pool.unpin(page)
+                pins[page] -= 1
+                if pins[page] == 0:
+                    del pins[page]
+        elif op == "flush":
+            if pool.is_resident(page):
+                pool.flush(page)
+    return pins
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_pinned_pages_survive_everything(ops):
+    disk, pool = build_pool(LRUPolicy())
+    pins = run_ops(pool, ops)
+    # Every page our model believes is pinned must be resident with the
+    # same pin count.
+    for page, count in pins.items():
+        assert pool.is_resident(page)
+        assert pool.pin_count(page) == count
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_capacity_and_page_table_consistency(ops):
+    disk, pool = build_pool(LRUKPolicy(k=2))
+    run_ops(pool, ops)
+    resident = pool.resident_pages
+    assert len(resident) <= CAPACITY
+    for page in resident:
+        frame = pool.frame_of(page)
+        assert frame.page is not None
+        assert frame.page.page_id == page
+    # Policy residency mirrors the pool's.
+    assert pool.policy.resident_pages == resident
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_flush_all_then_disk_matches_buffer(ops):
+    disk, pool = build_pool(LRUPolicy())
+    run_ops(pool, ops)
+    pool.flush_all()
+    for page in pool.resident_pages:
+        frame = pool.frame_of(page)
+        assert not frame.dirty
+        assert disk.read(page).payload == frame.page.payload
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_physical_io_accounting(ops):
+    disk, pool = build_pool(LRUPolicy())
+    run_ops(pool, ops)
+    # Reads: one per miss. Writes: dirty evictions + explicit flushes.
+    assert disk.stats.reads == pool.stats.misses
+    assert disk.stats.writes == (pool.stats.dirty_evictions
+                                 + pool.stats.flushes)

@@ -1,0 +1,113 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.policies.base import ReplacementPolicy
+from repro.sim import CacheSimulator
+from repro.types import PageId, Reference
+
+
+def drive(policy: ReplacementPolicy, pages: Sequence[PageId],
+          capacity: int) -> CacheSimulator:
+    """Run a page-id sequence through a fresh simulator."""
+    simulator = CacheSimulator(policy, capacity)
+    for page in pages:
+        simulator.access(page)
+    return simulator
+
+
+def hit_ratio(policy: ReplacementPolicy, pages: Sequence[PageId],
+              capacity: int, warmup: int = 0) -> float:
+    """Hit ratio of a page sequence with an optional warm-up prefix."""
+    simulator = CacheSimulator(policy, capacity)
+    for index, page in enumerate(pages):
+        if index == warmup and warmup > 0:
+            simulator.start_measurement()
+        simulator.access(page)
+    return simulator.hit_ratio
+
+
+def eviction_order(policy: ReplacementPolicy, pages: Sequence[PageId],
+                   capacity: int) -> List[PageId]:
+    """The sequence of evicted pages a policy produces on a trace."""
+    simulator = CacheSimulator(policy, capacity)
+    evicted: List[PageId] = []
+    for page in pages:
+        outcome = simulator.access(page)
+        if outcome.evicted is not None:
+            evicted.append(outcome.evicted)
+    return evicted
+
+
+class BruteForceBackwardDistance:
+    """Definition 2.1 computed directly from the raw reference string.
+
+    Used to validate LRU-K's incremental HIST bookkeeping (with CRP=0,
+    where every reference is uncorrelated).
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.history: Dict[PageId, List[int]] = {}
+        self.now = 0
+
+    def record(self, page: PageId) -> None:
+        """Append one reference (time advances by one)."""
+        self.now += 1
+        self.history.setdefault(page, []).append(self.now)
+
+    def backward_k_distance(self, page: PageId) -> float:
+        """b_t(p, K) per Definition 2.1."""
+        times = self.history.get(page, [])
+        if len(times) < self.k:
+            return float("inf")
+        return self.now - times[-self.k]
+
+    def kth_most_recent_time(self, page: PageId) -> int:
+        """HIST(p, K), or 0 when unknown."""
+        times = self.history.get(page, [])
+        if len(times) < self.k:
+            return 0
+        return times[-self.k]
+
+
+def simulate_opt_misses(pages: Sequence[PageId], capacity: int) -> int:
+    """Independent Belady simulation (miss count) for oracle tests."""
+    next_use: Dict[PageId, List[int]] = {}
+    for index in range(len(pages) - 1, -1, -1):
+        next_use.setdefault(pages[index], []).append(index)
+    resident: set = set()
+    misses = 0
+    for index, page in enumerate(pages):
+        occurrences = next_use[page]
+        occurrences.pop()  # consume this occurrence
+        if page in resident:
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            # Evict the resident page whose next use is farthest.
+            def next_of(candidate: PageId) -> float:
+                future = next_use[candidate]
+                return future[-1] if future else float("inf")
+            victim = max(resident, key=next_of)
+            resident.discard(victim)
+        resident.add(page)
+    return misses
+
+
+@pytest.fixture
+def two_pool_trace() -> List[PageId]:
+    """A short deterministic two-pool-like trace: pages 0-4 hot, 100+ cold."""
+    from repro.stats import SeededRng
+    rng = SeededRng(42)
+    trace: List[PageId] = []
+    for index in range(2000):
+        if index % 2 == 0:
+            trace.append(rng.randrange(5))
+        else:
+            trace.append(100 + rng.randrange(500))
+    return trace

@@ -1,0 +1,186 @@
+"""Tests for HIST/LAST control blocks and the Retained Information store."""
+
+import pytest
+
+from repro.core.history import INFINITE_DISTANCE, HistoryBlock, HistoryStore
+from repro.errors import ConfigurationError
+
+
+class TestHistoryBlock:
+    def test_new_block_has_all_zero_history(self):
+        block = HistoryBlock(k=3)
+        assert block.hist == [0, 0, 0]
+        assert block.last == 0
+
+    def test_initial_reference_recorded_when_now_given(self):
+        block = HistoryBlock(k=2, now=7)
+        assert block.hist == [7, 0]
+        assert block.last == 7
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HistoryBlock(k=0)
+
+    def test_backward_distance_infinite_without_k_references(self):
+        block = HistoryBlock(k=2, now=5)
+        assert block.backward_distance(10) == INFINITE_DISTANCE
+
+    def test_backward_distance_after_k_references(self):
+        block = HistoryBlock(k=2, now=5)
+        block.record_uncorrelated(9)
+        assert block.hist == [9, 5]
+        assert block.backward_distance(12) == 12 - 5
+
+    def test_uncorrelated_reference_shifts_history(self):
+        block = HistoryBlock(k=3, now=1)
+        block.record_uncorrelated(4)
+        block.record_uncorrelated(9)
+        assert block.hist == [9, 4, 1]
+
+    def test_correlated_reference_only_moves_last(self):
+        block = HistoryBlock(k=2, now=5)
+        block.record_correlated(7)
+        assert block.last == 7
+        assert block.hist == [5, 0]
+
+    def test_figure21_correlation_period_collapse(self):
+        # HIST(p,1)=10, then correlated refs move LAST to 14; the next
+        # uncorrelated reference at 30 must shift old entries forward by
+        # the burst length LAST - HIST(p,1) = 4.
+        block = HistoryBlock(k=3, now=10)
+        block.record_correlated(12)
+        block.record_correlated(14)
+        block.record_uncorrelated(30)
+        assert block.hist == [30, 10 + 4, 0]
+        assert block.last == 30
+
+    def test_collapse_keeps_unknown_entries_unknown(self):
+        block = HistoryBlock(k=3, now=10)
+        block.record_correlated(15)
+        block.record_uncorrelated(20)
+        # The third slot was 0 (unknown) and must stay 0, not become the
+        # correlation period.
+        assert block.hist[2] == 0
+
+    def test_readmission_shifts_without_correlation_adjustment(self):
+        block = HistoryBlock(k=2, now=10)
+        block.record_correlated(14)  # burst that ended with eviction
+        block.record_readmission(25)
+        assert block.hist == [25, 10]
+        assert block.last == 25
+
+    def test_kth_time_is_last_slot(self):
+        block = HistoryBlock(k=2, now=3)
+        block.record_uncorrelated(8)
+        assert block.kth_time() == 3
+
+
+class TestHistoryStore:
+    def test_get_or_create_creates_once(self):
+        store = HistoryStore(k=2)
+        block, created = store.get_or_create(5)
+        assert created
+        again, created_again = store.get_or_create(5)
+        assert not created_again
+        assert again is block
+
+    def test_len_and_contains(self):
+        store = HistoryStore(k=2)
+        store.get_or_create(1)
+        store.get_or_create(2)
+        assert len(store) == 2
+        assert 1 in store
+        assert 3 not in store
+
+    def test_purge_drops_expired_non_resident_blocks(self):
+        store = HistoryStore(k=2, retained_information_period=10)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(5)
+        store.touch(1, is_resident=lambda p: False)
+        dropped = store.purge(100, is_resident=lambda p: False)
+        assert dropped == 1
+        assert 1 not in store
+
+    def test_purge_spares_recent_blocks(self):
+        store = HistoryStore(k=2, retained_information_period=1000)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(95)
+        store.touch(1, is_resident=lambda p: False)
+        assert store.purge(100, is_resident=lambda p: False) == 0
+        assert 1 in store
+
+    def test_purge_spares_resident_blocks_even_when_expired(self):
+        store = HistoryStore(k=2, retained_information_period=10)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(5)
+        store.touch(1, is_resident=lambda p: True)
+        assert store.purge(1000, is_resident=lambda p: True) == 0
+        assert 1 in store
+
+    def test_postponed_resident_block_purged_after_eviction(self):
+        store = HistoryStore(k=2, retained_information_period=10)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(5)
+        store.touch(1, is_resident=lambda p: True)
+        store.purge(1000, is_resident=lambda p: True)
+        # Now the page leaves the buffer; the retained entry must expire.
+        assert store.purge(2000, is_resident=lambda p: False) == 1
+
+    def test_touch_triggers_amortized_purge(self):
+        store = HistoryStore(k=2, retained_information_period=5,
+                             purge_interval=3)
+        for page in range(3):
+            block, _ = store.get_or_create(page)
+            block.record_uncorrelated(page + 1)
+            store.touch(page, is_resident=lambda p: False)
+        # After the third touch the sweep ran at now=3; pages with
+        # last + 5 < 3 would be gone (none here), so everything survives.
+        assert len(store) == 3
+        late, _ = store.get_or_create(99)
+        late.record_uncorrelated(1000)
+        store.touch(99, is_resident=lambda p: False)
+        store.touch(99, is_resident=lambda p: False)
+        store.touch(99, is_resident=lambda p: False)
+        assert len(store) == 1  # the three early blocks expired
+
+    def test_stale_expiry_entries_ignored(self):
+        store = HistoryStore(k=2, retained_information_period=10)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(5)
+        store.touch(1, is_resident=lambda p: False)
+        block.record_uncorrelated(95)  # touched again, fresher
+        store.touch(1, is_resident=lambda p: False)
+        assert store.purge(100, is_resident=lambda p: False) == 0
+        assert 1 in store
+
+    def test_none_rip_never_purges(self):
+        store = HistoryStore(k=2, retained_information_period=None)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(1)
+        store.touch(1, is_resident=lambda p: False)
+        assert store.purge(10 ** 9, is_resident=lambda p: False) == 0
+
+    def test_drop_removes_unconditionally(self):
+        store = HistoryStore(k=2)
+        store.get_or_create(1)
+        store.drop(1)
+        assert 1 not in store
+        store.drop(1)  # idempotent
+
+    def test_clear_resets_counters(self):
+        store = HistoryStore(k=2, retained_information_period=1)
+        block, _ = store.get_or_create(1)
+        block.record_uncorrelated(1)
+        store.touch(1, is_resident=lambda p: False)
+        store.purge(100, is_resident=lambda p: False)
+        store.clear()
+        assert len(store) == 0
+        assert store.purged_blocks == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistoryStore(k=0)
+        with pytest.raises(ConfigurationError):
+            HistoryStore(k=2, retained_information_period=0)
+        with pytest.raises(ConfigurationError):
+            HistoryStore(k=2, purge_interval=0)

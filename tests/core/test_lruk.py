@@ -1,0 +1,232 @@
+"""Behavioural tests of the LRU-K policy against the paper's definitions."""
+
+import pytest
+
+from repro.core import INFINITE_DISTANCE, LRUKPolicy
+from repro.errors import ConfigurationError, NoEvictableFrameError
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, eviction_order
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            LRUKPolicy(k=0)
+
+    def test_rejects_negative_crp(self):
+        with pytest.raises(ConfigurationError):
+            LRUKPolicy(k=2, correlated_reference_period=-1)
+
+    def test_rejects_unknown_selection(self):
+        with pytest.raises(ConfigurationError):
+            LRUKPolicy(k=2, selection="btree")
+
+    def test_rejects_bad_history_bound(self):
+        with pytest.raises(ConfigurationError):
+            LRUKPolicy(k=2, max_history_blocks=0)
+
+
+class TestDefinition22:
+    """Definition 2.2: evict the maximum backward K-distance."""
+
+    def test_evicts_page_with_infinite_distance_first(self):
+        # Pages 1 and 2 are each referenced twice; page 3 once. With K=2,
+        # page 3 has b = infinity and must be the victim.
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [1, 2, 1, 2, 3], capacity=3)
+        outcome = simulator.access(4)
+        assert outcome.evicted == 3
+
+    def test_evicts_maximum_backward_2_distance(self):
+        # t:      1  2  3  4  5  6
+        # string: 1  2  1  2  1  2   -> HIST(1,2)=3, HIST(2,2)=4
+        # Then 3 arrives; fill capacity 3; reference both again; now a
+        # fourth page must evict the page with the *oldest* second-to-last
+        # reference.
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [1, 2, 1, 2, 1, 2], capacity=2)
+        # HIST(1,K)=t3, HIST(2,K)=t4 -> page 1 has larger backward distance.
+        outcome = simulator.access(9)
+        assert outcome.evicted == 1
+
+    def test_subsidiary_lru_among_infinite_distances(self):
+        # All three pages referenced once (b = infinity for K=2); the
+        # subsidiary policy drops the least recently (uncorrelated)
+        # referenced, i.e. classical LRU.
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [1, 2, 3], capacity=3)
+        outcome = simulator.access(4)
+        assert outcome.evicted == 1
+
+    def test_twice_referenced_page_outlives_once_referenced_pages(self):
+        # The essence of Example 1.1: a page seen twice survives a parade
+        # of once-seen pages.
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [7, 7], capacity=2)
+        for newcomer in range(100, 120):
+            simulator.access(newcomer)
+        assert simulator.is_resident(7)
+
+    def test_k1_matches_classical_lru_decisions(self):
+        trace = [1, 2, 3, 1, 4, 2, 5, 1, 2, 3, 4, 5, 1, 3]
+        lru_evictions = eviction_order(LRUPolicy(), trace, capacity=3)
+        lruk_evictions = eviction_order(LRUKPolicy(k=1), trace, capacity=3)
+        assert lruk_evictions == lru_evictions
+
+
+class TestBackwardDistance:
+    def test_unknown_page_has_infinite_distance(self):
+        policy = LRUKPolicy(k=2)
+        assert policy.backward_k_distance(42, now=10) == INFINITE_DISTANCE
+
+    def test_distance_tracks_kth_reference(self):
+        policy = LRUKPolicy(k=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        simulator.access(1)          # t=1
+        simulator.access(2)          # t=2
+        simulator.access(1)          # t=3
+        assert policy.backward_k_distance(1, now=3) == 3 - 1
+
+    def test_stats_count_admissions_and_evictions(self):
+        policy = LRUKPolicy(k=2)
+        drive(policy, [1, 2, 3, 4], capacity=2)
+        assert policy.stats.admissions == 4
+        assert policy.stats.evictions == 2
+
+
+class TestCorrelatedReferencePeriod:
+    def test_burst_does_not_create_history(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5)
+        simulator = CacheSimulator(policy, capacity=4)
+        simulator.access(1)   # t=1 admit
+        simulator.access(1)   # t=2 correlated
+        simulator.access(1)   # t=3 correlated
+        block = policy.history_block(1)
+        assert block.hist == [1, 0]   # still only one uncorrelated ref
+        assert block.last == 3
+        assert policy.stats.correlated_references == 2
+
+    def test_crp_protected_page_not_chosen(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=3)
+        simulator = CacheSimulator(policy, capacity=2)
+        simulator.access(1)   # t=1
+        simulator.access(2)   # t=2
+        simulator.access(2)   # t=3 (page 2's LAST=3)
+        # t=4: page 3 arrives. Page 2 is inside its CRP (4-3 <= 3) so the
+        # victim must be page 1 (4-1 <= 3 is also true!) -> both protected
+        # -> forced eviction of the stalest burst, page 1.
+        outcome = simulator.access(3)
+        assert outcome.evicted == 1
+        assert policy.stats.forced_evictions == 1
+
+    def test_eligible_page_chosen_over_protected_page(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=2)
+        simulator = CacheSimulator(policy, capacity=2)
+        simulator.access(1)   # t=1
+        simulator.access(2)   # t=2
+        simulator.access(2)   # t=3
+        simulator.access(2)   # t=4
+        # t=5: page 1 (LAST=1) is eligible (5-1 > 2); page 2 (LAST=4) is
+        # protected (5-4 <= 2). Victim must be page 1, no forcing.
+        outcome = simulator.access(3)
+        assert outcome.evicted == 1
+        assert policy.stats.forced_evictions == 0
+
+    def test_uncorrelated_hit_after_crp_closes_period(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        simulator.access(1)   # t=1
+        simulator.access(1)   # t=2 correlated (2-1 <= 2)
+        simulator.access(2)   # t=3
+        simulator.access(2)   # t=4
+        simulator.access(1)   # t=5: 5 - LAST(1)=2 -> 3 > 2, uncorrelated
+        block = policy.history_block(1)
+        # Correlation period was LAST-HIST1 = 2-1 = 1; old entry shifts
+        # from t=1 to t=2; new HIST1 = 5.
+        assert block.hist == [5, 2]
+
+
+class TestRetainedInformation:
+    def test_history_survives_eviction(self):
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [1, 2, 3], capacity=2)
+        assert not simulator.is_resident(1)
+        assert policy.history_block(1) is not None
+
+    def test_readmission_uses_retained_history(self):
+        # Page 1 evicted then re-referenced: with retained info its
+        # backward 2-distance is finite, so it beats a once-seen page.
+        policy = LRUKPolicy(k=2)
+        simulator = drive(policy, [1, 2, 3, 1], capacity=2)
+        assert simulator.is_resident(1)
+        block = policy.history_block(1)
+        assert block.hist[1] == 1  # original reference retained
+
+    def test_rip_purges_old_blocks(self):
+        policy = LRUKPolicy(k=2, retained_information_period=10)
+        simulator = CacheSimulator(policy, capacity=2)
+        simulator.access(1)
+        simulator.access(2)
+        simulator.access(3)  # evicts 1
+        for page in range(100, 400):
+            simulator.access(page)
+        policy.history.purge(simulator.now, policy._resident.__contains__)
+        assert policy.history_block(1) is None
+
+    def test_bounded_history_blocks(self):
+        policy = LRUKPolicy(k=2, max_history_blocks=10)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in range(200):
+            simulator.access(page)
+        assert policy.retained_blocks <= 10 + 4  # bound + resident slack
+
+
+class TestVictimSelectionModes:
+    def test_scan_mode_runs(self):
+        policy = LRUKPolicy(k=2, selection="scan")
+        simulator = drive(policy, [1, 2, 1, 2, 3, 4, 5], capacity=3)
+        assert len(simulator.resident_pages) == 3
+
+    def test_exclusions_respected(self):
+        policy = LRUKPolicy(k=2)
+        drive(policy, [1, 2, 3], capacity=3)
+        victim = policy.choose_victim(4, exclude=frozenset({1}))
+        assert victim != 1
+
+    def test_all_excluded_raises(self):
+        policy = LRUKPolicy(k=2)
+        drive(policy, [1, 2], capacity=2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(3, exclude=frozenset({1, 2}))
+
+    def test_empty_buffer_raises(self):
+        policy = LRUKPolicy(k=2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(1)
+
+    def test_choose_victim_is_pure(self):
+        policy = LRUKPolicy(k=2)
+        drive(policy, [1, 2, 3], capacity=3)
+        first = policy.choose_victim(4)
+        second = policy.choose_victim(4)
+        assert first == second
+        assert len(policy) == 3
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        policy = LRUKPolicy(k=2)
+        drive(policy, [1, 2, 3, 1, 2], capacity=2)
+        policy.reset()
+        assert len(policy) == 0
+        assert policy.retained_blocks == 0
+        assert policy.stats.admissions == 0
+
+    def test_policy_reusable_after_reset(self):
+        policy = LRUKPolicy(k=2)
+        first = eviction_order(policy, [1, 2, 3, 1, 4], capacity=2)
+        policy.reset()
+        second = eviction_order(policy, [1, 2, 3, 1, 4], capacity=2)
+        assert first == second

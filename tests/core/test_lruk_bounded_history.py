@@ -1,0 +1,90 @@
+"""Tests for the bounded history store (paper §5 open issue) and its
+interaction with the heap victim selector."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import eviction_order
+
+traces = st.lists(st.integers(min_value=0, max_value=30),
+                  min_size=1, max_size=200)
+bounds = st.integers(min_value=1, max_value=12)
+capacities = st.integers(min_value=1, max_value=6)
+
+
+class TestBoundedHistory:
+    def test_bound_is_enforced_with_slack_for_residents(self):
+        policy = LRUKPolicy(k=2, max_history_blocks=5)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in range(100):
+            simulator.access(page % 40)
+        # Resident pages always keep blocks, so the hard ceiling is
+        # bound + capacity.
+        assert policy.retained_blocks <= 5 + 3
+
+    def test_resident_blocks_never_dropped(self):
+        policy = LRUKPolicy(k=2, max_history_blocks=1)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in [1, 2, 3, 1, 2, 3, 4, 5, 6]:
+            simulator.access(page)
+        for page in simulator.resident_pages:
+            assert policy.history_block(page) is not None
+
+    def test_huge_bound_equals_unbounded(self):
+        trace = [p % 12 for p in range(150)]
+        bounded = eviction_order(
+            LRUKPolicy(k=2, max_history_blocks=10 ** 6), trace, 4)
+        unbounded = eviction_order(LRUKPolicy(k=2), trace, 4)
+        assert bounded == unbounded
+
+    def test_history_memory_pays_off_when_hot_sets_evolve(self):
+        # Where retained information matters (a moving hot set whose
+        # interarrival exceeds residence — the A3 regime), a tight block
+        # bound costs hit ratio and a generous one restores it. (On
+        # *stationary* exchangeable hot sets the relationship can invert:
+        # forgetting reduces readmission churn — see the A3 ablation
+        # notes — so this test deliberately uses the evolving regime.)
+        from repro.workloads import MovingHotspotWorkload
+        workload = MovingHotspotWorkload(db_pages=200_000, hot_pages=50,
+                                         hot_fraction=0.0625,
+                                         epoch_length=10_000)
+        refs = list(workload.references(30_000, seed=1))
+
+        def ratio(bound):
+            policy = LRUKPolicy(k=2, max_history_blocks=bound)
+            simulator = CacheSimulator(policy, 80)
+            for index, ref in enumerate(refs):
+                if index == 10_000:
+                    simulator.start_measurement()
+                simulator.access(ref)
+            return simulator.hit_ratio
+
+        assert ratio(3000) > ratio(20)
+
+    @given(trace=traces, bound=bounds, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_runs_are_always_legal(self, trace, bound, capacity):
+        policy = LRUKPolicy(k=2, max_history_blocks=bound)
+        simulator = CacheSimulator(policy, capacity)
+        for page in trace:
+            simulator.access(page)
+            assert len(simulator.resident_pages) <= capacity
+            assert policy.retained_blocks <= bound + capacity
+        # The heap selector must still function after arbitrary drops.
+        if simulator.resident_pages:
+            victim = policy.choose_victim(simulator.now + 1)
+            assert victim in simulator.resident_pages
+
+    @given(trace=traces, bound=bounds, capacity=capacities)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_heap_and_scan_still_agree(self, trace, bound, capacity):
+        heap_run = eviction_order(
+            LRUKPolicy(k=2, max_history_blocks=bound, selection="heap"),
+            trace, capacity)
+        scan_run = eviction_order(
+            LRUKPolicy(k=2, max_history_blocks=bound, selection="scan"),
+            trace, capacity)
+        assert heap_run == scan_run

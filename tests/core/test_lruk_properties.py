@@ -1,0 +1,110 @@
+"""Property-based tests of LRU-K (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import BruteForceBackwardDistance, eviction_order
+
+# Small page universes force heavy eviction traffic.
+traces = st.lists(st.integers(min_value=0, max_value=12),
+                  min_size=1, max_size=120)
+capacities = st.integers(min_value=1, max_value=6)
+ks = st.integers(min_value=1, max_value=4)
+
+
+@given(trace=traces, capacity=capacities, k=ks)
+@settings(max_examples=150, deadline=None)
+def test_heap_and_scan_selection_are_decision_equivalent(trace, capacity, k):
+    """The O(log B) heap and the literal Figure 2.1 scan agree exactly."""
+    heap_evictions = eviction_order(
+        LRUKPolicy(k=k, selection="heap"), trace, capacity)
+    scan_evictions = eviction_order(
+        LRUKPolicy(k=k, selection="scan"), trace, capacity)
+    assert heap_evictions == scan_evictions
+
+
+@given(trace=traces, capacity=capacities, k=ks,
+       crp=st.integers(min_value=0, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_selection_equivalence_holds_with_crp(trace, capacity, k, crp):
+    heap_evictions = eviction_order(
+        LRUKPolicy(k=k, correlated_reference_period=crp, selection="heap"),
+        trace, capacity)
+    scan_evictions = eviction_order(
+        LRUKPolicy(k=k, correlated_reference_period=crp, selection="scan"),
+        trace, capacity)
+    assert heap_evictions == scan_evictions
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=150, deadline=None)
+def test_lruk_with_k1_equals_classical_lru(trace, capacity):
+    """LRU-1 is classical LRU (paper Definition 2.2)."""
+    assert (eviction_order(LRUKPolicy(k=1), trace, capacity)
+            == eviction_order(LRUPolicy(), trace, capacity))
+
+
+@given(trace=traces, capacity=capacities, k=ks)
+@settings(max_examples=150, deadline=None)
+def test_hist_k_matches_brute_force_definition(trace, capacity, k):
+    """With CRP=0 the incremental HIST(p,K) equals Definition 2.1 applied
+    to the raw reference string — for resident pages (history of evicted
+    pages is retained but only resident pages drive decisions)."""
+    policy = LRUKPolicy(k=k)
+    simulator = CacheSimulator(policy, capacity)
+    brute = BruteForceBackwardDistance(k)
+    for page in trace:
+        simulator.access(page)
+        brute.record(page)
+        for resident in simulator.resident_pages:
+            block = policy.history_block(resident)
+            assert block is not None
+            assert block.kth_time() == brute.kth_most_recent_time(resident)
+
+
+@given(trace=traces, capacity=capacities, k=ks)
+@settings(max_examples=100, deadline=None)
+def test_residency_never_exceeds_capacity(trace, capacity, k):
+    policy = LRUKPolicy(k=k)
+    simulator = CacheSimulator(policy, capacity)
+    for page in trace:
+        simulator.access(page)
+        assert len(simulator.resident_pages) <= capacity
+        assert simulator.resident_pages == policy.resident_pages
+
+
+@given(trace=traces, capacity=capacities, k=ks)
+@settings(max_examples=100, deadline=None)
+def test_referenced_page_is_always_resident_afterwards(trace, capacity, k):
+    policy = LRUKPolicy(k=k)
+    simulator = CacheSimulator(policy, capacity)
+    for page in trace:
+        simulator.access(page)
+        assert simulator.is_resident(page)
+
+
+@given(trace=traces, capacity=capacities, k=ks,
+       rip=st.integers(min_value=1, max_value=50))
+@settings(max_examples=75, deadline=None)
+def test_rip_variants_only_lose_history_never_crash(trace, capacity, k, rip):
+    """Any RIP produces a legal run; resident pages always keep blocks."""
+    policy = LRUKPolicy(k=k, retained_information_period=rip)
+    simulator = CacheSimulator(policy, capacity)
+    for page in trace:
+        simulator.access(page)
+    for resident in simulator.resident_pages:
+        assert policy.history_block(resident) is not None
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=75, deadline=None)
+def test_infinite_rip_and_default_are_identical(trace, capacity):
+    """RIP=None and an enormous RIP make the same decisions."""
+    assert (eviction_order(LRUKPolicy(k=2), trace, capacity)
+            == eviction_order(
+                LRUKPolicy(k=2, retained_information_period=10 ** 9),
+                trace, capacity))

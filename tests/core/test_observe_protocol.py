@@ -1,0 +1,55 @@
+"""Tests for the observe() hook across drivers."""
+
+from repro.buffer import BufferPool
+from repro.core import LRUKPolicy
+from repro.policies import LRUPolicy
+from repro.policies.base import ReplacementPolicy
+from repro.sim import CacheSimulator
+from repro.storage import SimulatedDisk
+from repro.types import Reference
+
+
+class _Recorder(LRUPolicy):
+    """An LRU policy that logs every observed reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.observed = []
+
+    def observe(self, reference, now):
+        self.observed.append((reference, now))
+
+
+class TestObserveHook:
+    def test_simulator_calls_observe_before_every_access(self):
+        policy = _Recorder()
+        simulator = CacheSimulator(policy, 2)
+        simulator.access(Reference(page=1, process_id=9))
+        simulator.access(Reference(page=1, process_id=8))
+        assert [(ref.page, ref.process_id, now)
+                for ref, now in policy.observed] == [(1, 9, 1), (1, 8, 2)]
+
+    def test_buffer_pool_calls_observe(self):
+        policy = _Recorder()
+        disk = SimulatedDisk()
+        disk.allocate_many(4)
+        pool = BufferPool(disk, policy, 2)
+        pool.fetch(0, pin=False, process_id=5)
+        assert policy.observed[0][0].process_id == 5
+
+    def test_default_observe_is_a_noop(self):
+        # The base hook must not interfere with any policy lacking it.
+        policy = LRUPolicy()
+        assert ReplacementPolicy.observe(policy,
+                                         Reference(page=1), 1) is None
+
+    def test_lruk_sees_processes_through_the_pool(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5,
+                            distinguish_processes=True)
+        disk = SimulatedDisk()
+        disk.allocate_many(4)
+        pool = BufferPool(disk, policy, 4)
+        pool.fetch(0, pin=False, process_id=1)
+        pool.fetch(0, pin=False, process_id=2)   # cross-process pair
+        block = policy.history_block(0)
+        assert block.hist == [2, 1]              # counted as independent

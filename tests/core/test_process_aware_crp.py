@@ -1,0 +1,92 @@
+"""Tests for process-aware Time-Out Correlation (paper Section 2.1.1).
+
+The paper's default collapses *any* reference pair within the CRP; the
+process-aware variant only treats same-process pairs as correlated, so an
+inter-process re-reference (pair type 4 — the kind that *should* drive
+interarrival estimation) creates history even when it lands inside the
+time-out window.
+"""
+
+from repro.core import LRUKPolicy
+from repro.sim import CacheSimulator
+from repro.types import Reference
+
+
+def access_all(policy, annotated):
+    simulator = CacheSimulator(policy, capacity=8)
+    for page, process in annotated:
+        simulator.access(Reference(page=page, process_id=process))
+    return simulator
+
+
+class TestProcessAwareCorrelation:
+    def test_same_process_pair_is_correlated(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5,
+                            distinguish_processes=True)
+        access_all(policy, [(1, 42), (1, 42)])
+        block = policy.history_block(1)
+        assert block.hist == [1, 0]          # second ref collapsed
+        assert policy.stats.correlated_references == 1
+
+    def test_different_process_pair_is_independent(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5,
+                            distinguish_processes=True)
+        access_all(policy, [(1, 42), (1, 43)])
+        block = policy.history_block(1)
+        assert block.hist == [2, 1]          # full history recorded
+        assert policy.stats.correlated_references == 0
+
+    def test_default_mode_ignores_processes(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5)
+        access_all(policy, [(1, 42), (1, 43)])
+        block = policy.history_block(1)
+        assert block.hist == [1, 0]          # paper's simple mode
+        assert policy.stats.correlated_references == 1
+
+    def test_missing_process_ids_never_correlate_in_aware_mode(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5,
+                            distinguish_processes=True)
+        access_all(policy, [(1, None), (1, None)])
+        block = policy.history_block(1)
+        # Unknown processes cannot be asserted equal; the pair counts as
+        # independent (conservative direction: more history, not less).
+        assert block.hist == [2, 1]
+
+    def test_inter_process_pair_beats_same_process_burst(self):
+        # Page 5: two quick references from DIFFERENT processes (genuine
+        # popularity, finite b2). Page 6: the same pattern from ONE
+        # process (a burst, b2 stays infinite). When a victim is needed,
+        # the burst page 6 must go.
+        policy = LRUKPolicy(k=2, correlated_reference_period=1,
+                            distinguish_processes=True)
+        simulator = CacheSimulator(policy, capacity=3)
+        simulator.access(Reference(page=5, process_id=1))   # t=1
+        simulator.access(Reference(page=5, process_id=2))   # t=2 independent
+        simulator.access(Reference(page=6, process_id=3))   # t=3
+        simulator.access(Reference(page=6, process_id=3))   # t=4 correlated
+        simulator.access(Reference(page=9, process_id=5))   # t=5 filler
+        # t=6: 9 is CRP-protected; eligible victims are 5 (b2 finite) and
+        # 6 (b2 infinite) -> 6 is dropped.
+        outcome = simulator.access(Reference(page=7, process_id=6))
+        assert outcome.evicted == 6
+
+    def test_same_burst_on_both_pages_falls_back_to_lru(self):
+        # When BOTH pages' pairs are same-process bursts, both have
+        # infinite b2 and the subsidiary LRU rule drops the older one.
+        policy = LRUKPolicy(k=2, correlated_reference_period=1,
+                            distinguish_processes=True)
+        simulator = CacheSimulator(policy, capacity=3)
+        simulator.access(Reference(page=5, process_id=1))   # t=1
+        simulator.access(Reference(page=5, process_id=1))   # t=2 burst
+        simulator.access(Reference(page=6, process_id=3))   # t=3
+        simulator.access(Reference(page=6, process_id=3))   # t=4 burst
+        simulator.access(Reference(page=9, process_id=5))   # t=5 filler
+        outcome = simulator.access(Reference(page=7, process_id=6))
+        assert outcome.evicted == 5
+
+    def test_reset_clears_process_memory(self):
+        policy = LRUKPolicy(k=2, correlated_reference_period=5,
+                            distinguish_processes=True)
+        access_all(policy, [(1, 42)])
+        policy.reset()
+        assert not policy._last_process

@@ -1,0 +1,65 @@
+"""Tests for the Five Minute Rule tuning helpers."""
+
+import pytest
+
+from repro.clock import ReferenceClock
+from repro.core.tuning import (
+    CANONICAL_BREAK_EVEN_SECONDS,
+    five_minute_rule_interarrival,
+    suggest_correlated_reference_period,
+    suggest_retained_information_period,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFiveMinuteRule:
+    def test_default_break_even_is_about_100_seconds(self):
+        # Gray & Putzolu's 1987 constants give ~100 s for a 4 KB page.
+        assert five_minute_rule_interarrival() == pytest.approx(100.0, rel=0.1)
+
+    def test_larger_pages_break_even_sooner(self):
+        small = five_minute_rule_interarrival(page_size_bytes=4096)
+        large = five_minute_rule_interarrival(page_size_bytes=65536)
+        assert large < small
+
+    def test_cheaper_memory_raises_break_even_page_count(self):
+        pricey = five_minute_rule_interarrival(memory_cost_per_megabyte=400.0)
+        cheap = five_minute_rule_interarrival(memory_cost_per_megabyte=4.0)
+        assert cheap > pricey  # cheap memory -> keep colder pages
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ConfigurationError):
+            five_minute_rule_interarrival(page_size_bytes=0)
+        with pytest.raises(ConfigurationError):
+            five_minute_rule_interarrival(disk_cost_per_access_per_second=0)
+
+
+class TestSuggestions:
+    def test_rip_for_lru2_is_twice_break_even(self):
+        rip = suggest_retained_information_period(
+            break_even_seconds=CANONICAL_BREAK_EVEN_SECONDS, k=2)
+        assert rip == pytest.approx(200.0)
+
+    def test_rip_scales_with_k(self):
+        assert (suggest_retained_information_period(k=3)
+                > suggest_retained_information_period(k=2))
+
+    def test_rip_converts_through_clock(self):
+        clock = ReferenceClock(references_per_second=130.0)
+        rip = suggest_retained_information_period(k=2, clock=clock)
+        assert rip == 26_000
+
+    def test_crp_default_is_five_seconds(self):
+        assert suggest_correlated_reference_period() == pytest.approx(5.0)
+
+    def test_crp_converts_through_clock(self):
+        clock = ReferenceClock(references_per_second=100.0)
+        assert suggest_correlated_reference_period(clock=clock) == 500
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suggest_retained_information_period(break_even_seconds=0)
+        with pytest.raises(ConfigurationError):
+            suggest_retained_information_period(k=0)
+        with pytest.raises(ConfigurationError):
+            suggest_correlated_reference_period(seconds=-1.0)

@@ -1,0 +1,132 @@
+"""Tests for the catalog and the transaction machinery."""
+
+import pytest
+
+from repro.buffer import BufferPool
+from repro.db import Catalog, Transaction, TransactionManager
+from repro.db.transaction import TxnState
+from repro.errors import DatabaseError, TransactionAborted, TransactionError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+
+
+def make_pool(capacity=16):
+    return BufferPool(SimulatedDisk(), LRUPolicy(), capacity)
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog(make_pool())
+        catalog.register("customers", "heap", [4, 5, 6])
+        kind, pages = catalog.lookup("customers")
+        assert kind == "heap"
+        assert pages == [4, 5, 6]
+
+    def test_unknown_name_rejected(self):
+        catalog = Catalog(make_pool())
+        with pytest.raises(DatabaseError):
+            catalog.lookup("missing")
+
+    def test_survives_reopen_on_same_disk(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, LRUPolicy(), 16)
+        catalog = Catalog(pool)
+        catalog.register("t1", "heap", [10])
+        catalog.register("t1_pk", "btree", [11])
+        pool.flush_all()
+        # Re-open: a fresh pool over the same disk image.
+        reopened = Catalog(BufferPool(disk, LRUPolicy(), 16))
+        assert reopened.lookup("t1") == ("heap", [10])
+        assert reopened.lookup("t1_pk") == ("btree", [11])
+        assert reopened.names() == ["t1", "t1_pk"]
+
+    def test_reregister_replaces(self):
+        catalog = Catalog(make_pool())
+        catalog.register("t", "heap", [1])
+        catalog.register("t", "heap", [1, 2])
+        assert catalog.lookup("t")[1] == [1, 2]
+
+    def test_name_with_space_rejected(self):
+        catalog = Catalog(make_pool())
+        with pytest.raises(DatabaseError):
+            catalog.register("bad name", "heap", [1])
+
+    def test_contains(self):
+        catalog = Catalog(make_pool())
+        catalog.register("x", "heap", [])
+        assert "x" in catalog
+        assert "y" not in catalog
+
+
+class TestTransaction:
+    def test_lifecycle(self):
+        txn = Transaction(1, process_id=0)
+        txn.touch(5)
+        txn.commit()
+        assert txn.state is TxnState.COMMITTED
+        assert txn.pages_touched == [5]
+
+    def test_use_after_commit_rejected(self):
+        txn = Transaction(1, 0)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.touch(1)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort(self):
+        txn = Transaction(1, 0)
+        txn.abort()
+        assert txn.state is TxnState.ABORTED
+
+
+class TestTransactionManager:
+    def test_ids_are_unique_and_increasing(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        second = manager.begin()
+        assert second.txn_id > first.txn_id
+
+    def test_run_commits_body(self):
+        manager = TransactionManager()
+        touched = []
+        txn = manager.run(lambda t: touched.append(t.txn_id))
+        assert txn.state is TxnState.COMMITTED
+        assert manager.committed == 1
+        assert touched == [txn.txn_id]
+
+    def test_injected_aborts_cause_retry(self):
+        manager = TransactionManager(abort_probability=0.5, seed=1,
+                                     max_retries=100)
+        runs = []
+        txn = manager.run(lambda t: runs.append(t.txn_id))
+        assert txn.state is TxnState.COMMITTED
+        # Every attempt (including aborted ones) executed the body: the
+        # replayed accesses are the type-(2) correlated references.
+        assert len(runs) == manager.aborted + 1
+
+    def test_retry_budget_exhausted_raises(self):
+        manager = TransactionManager(abort_probability=0.999, seed=2,
+                                     max_retries=2)
+        with pytest.raises(TransactionAborted):
+            manager.run(lambda t: None)
+
+    def test_body_raised_abort_also_retries(self):
+        manager = TransactionManager(seed=3)
+        attempts = []
+
+        def body(txn):
+            attempts.append(txn.txn_id)
+            if len(attempts) == 1:
+                raise TransactionAborted("first try fails")
+
+        txn = manager.run(body)
+        assert txn.state is TxnState.COMMITTED
+        assert len(attempts) == 2
+        assert manager.aborted == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TransactionError):
+            TransactionManager(abort_probability=1.0)
+        with pytest.raises(TransactionError):
+            TransactionManager(max_retries=-1)

@@ -1,0 +1,160 @@
+"""Tests for heap files and the B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import BufferPool
+from repro.db import BPlusTree, HeapFile
+from repro.db.record import RecordId
+from repro.errors import DuplicateKeyError, RecordNotFoundError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+
+
+def make_pool(capacity=64):
+    return BufferPool(SimulatedDisk(), LRUPolicy(), capacity)
+
+
+class TestHeapFile:
+    def test_insert_get_roundtrip(self):
+        heap = HeapFile(make_pool())
+        rid = heap.insert(b"record one")
+        assert heap.get(rid) == b"record one"
+
+    def test_records_span_pages(self):
+        heap = HeapFile(make_pool())
+        big = b"r" * 1500
+        rids = [heap.insert(big) for _ in range(10)]
+        assert heap.page_count > 1
+        for rid in rids:
+            assert heap.get(rid) == big
+
+    def test_update(self):
+        heap = HeapFile(make_pool())
+        rid = heap.insert(b"before")
+        heap.update(rid, b"after")
+        assert heap.get(rid) == b"after"
+
+    def test_delete(self):
+        heap = HeapFile(make_pool())
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        with pytest.raises(RecordNotFoundError):
+            heap.get(rid)
+
+    def test_get_unknown_page_rejected(self):
+        heap = HeapFile(make_pool())
+        with pytest.raises(RecordNotFoundError):
+            heap.get(RecordId(page_id=999, slot=0))
+
+    def test_scan_returns_all_in_order(self):
+        heap = HeapFile(make_pool())
+        expected = []
+        for index in range(50):
+            record = f"row-{index:03d}".encode()
+            heap.insert(record)
+            expected.append(record)
+        assert [record for _, record in heap.scan()] == expected
+        assert len(heap) == 50
+
+    def test_scan_generates_buffer_traffic(self):
+        pool = make_pool()
+        heap = HeapFile(pool)
+        for index in range(20):
+            heap.insert(b"data" * 100)
+        reads_before = pool.stats.references
+        list(heap.scan())
+        assert pool.stats.references > reads_before
+
+
+class TestBPlusTree:
+    def test_insert_search_roundtrip(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        rid = RecordId(page_id=3, slot=1)
+        tree.insert(7, rid.to_bytes())
+        assert RecordId.from_bytes(tree.search(7)) == rid
+
+    def test_missing_key_rejected(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        with pytest.raises(RecordNotFoundError):
+            tree.search(404)
+
+    def test_duplicate_key_rejected(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        tree.insert(1, b"0123456789")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, b"9876543210")
+
+    def test_allow_update_replaces(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        tree.insert(1, b"0123456789")
+        tree.insert(1, b"9876543210", allow_update=True)
+        assert tree.search(1) == b"9876543210"
+
+    def test_splits_grow_height(self):
+        tree = BPlusTree(make_pool(256), value_size=10, max_leaf_keys=4,
+                         max_internal_keys=4)
+        for key in range(100):
+            tree.insert(key, b"%010d" % key)
+        assert tree.height() >= 3
+        for key in range(100):
+            assert tree.search(key) == b"%010d" % key
+        tree.check_invariants()
+
+    def test_random_insert_order(self):
+        from repro.stats import SeededRng
+        rng = SeededRng(5)
+        keys = list(range(300))
+        rng.shuffle(keys)
+        tree = BPlusTree(make_pool(256), value_size=10, max_leaf_keys=8,
+                         max_internal_keys=8)
+        for key in keys:
+            tree.insert(key, b"%010d" % key)
+        tree.check_invariants()
+        assert len(tree) == 300
+        assert [k for k, _ in tree.range_scan(100, 110)] == list(
+            range(100, 111))
+
+    def test_range_scan_empty_range(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        tree.insert(5, b"0123456789")
+        assert list(tree.range_scan(10, 5)) == []
+        assert list(tree.range_scan(6, 9)) == []
+
+    def test_lazy_delete(self):
+        tree = BPlusTree(make_pool(), value_size=10, max_leaf_keys=4)
+        for key in range(20):
+            tree.insert(key, b"%010d" % key)
+        tree.delete(7)
+        with pytest.raises(RecordNotFoundError):
+            tree.search(7)
+        with pytest.raises(RecordNotFoundError):
+            tree.delete(7)
+        assert len(tree) == 19
+
+    def test_monotone_load_packs_leaves(self):
+        tree = BPlusTree(make_pool(256), value_size=10, max_leaf_keys=10)
+        for key in range(100):
+            tree.insert(key, b"%010d" % key)
+        assert len(tree.leaf_page_ids()) == 10  # fully packed
+
+    def test_contains(self):
+        tree = BPlusTree(make_pool(), value_size=10)
+        tree.insert(3, b"0123456789")
+        assert tree.contains(3)
+        assert not tree.contains(4)
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10_000),
+                         min_size=1, max_size=150, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_inserted_keys_found(self, keys):
+        tree = BPlusTree(make_pool(512), value_size=10, max_leaf_keys=6,
+                         max_internal_keys=6)
+        for key in keys:
+            tree.insert(key, b"%010d" % key)
+        tree.check_invariants()
+        for key in keys:
+            assert tree.search(key) == b"%010d" % key
+        scanned = [k for k, _ in tree.range_scan(0, 10_000)]
+        assert scanned == sorted(keys)

@@ -1,0 +1,115 @@
+"""Tests for the query operator layer."""
+
+import pytest
+
+from repro.buffer import BufferPool, TraceRecorder
+from repro.db import (
+    Filter,
+    IndexLookup,
+    IndexRangeScan,
+    Limit,
+    Project,
+    SeqScan,
+    build_customer_database,
+)
+from repro.errors import ConfigurationError, RecordNotFoundError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+
+
+@pytest.fixture(scope="module")
+def database():
+    pool = BufferPool(SimulatedDisk(), LRUPolicy(), capacity=512)
+    return build_customer_database(pool, customers=300)
+
+
+class TestLeafOperators:
+    def test_seq_scan_returns_all_rows(self, database):
+        rows = SeqScan(database.heap).execute()
+        assert len(rows) == 300
+        assert rows[0][0] == 0
+        assert rows[-1][0] == 299
+
+    def test_index_lookup_finds_row(self, database):
+        rows = IndexLookup(database.index, database.heap, key=42).execute()
+        assert len(rows) == 1
+        assert rows[0][0] == 42
+        assert rows[0][2] == "cust-00000042"
+
+    def test_index_lookup_missing_key(self, database):
+        with pytest.raises(RecordNotFoundError):
+            IndexLookup(database.index, database.heap, key=9999).execute()
+        rows = IndexLookup(database.index, database.heap, key=9999,
+                           missing_ok=True).execute()
+        assert rows == []
+
+    def test_range_scan_in_key_order(self, database):
+        rows = IndexRangeScan(database.index, database.heap,
+                              low=10, high=20).execute()
+        assert [row[0] for row in rows] == list(range(10, 21))
+
+    def test_range_scan_validates_bounds(self, database):
+        with pytest.raises(ConfigurationError):
+            IndexRangeScan(database.index, database.heap, low=5, high=1)
+
+
+class TestTransformers:
+    def test_filter(self, database):
+        rows = Filter(IndexRangeScan(database.index, database.heap, 0, 50),
+                      predicate=lambda row: row[0] % 10 == 0).execute()
+        assert [row[0] for row in rows] == [0, 10, 20, 30, 40, 50]
+
+    def test_project(self, database):
+        rows = Project(IndexLookup(database.index, database.heap, 7),
+                       columns=[2, 0]).execute()
+        assert rows == [["cust-00000007", 7]]
+
+    def test_project_out_of_range(self, database):
+        operator = Project(IndexLookup(database.index, database.heap, 7),
+                           columns=[99])
+        with pytest.raises(ConfigurationError):
+            operator.execute()
+
+    def test_limit(self, database):
+        rows = Limit(SeqScan(database.heap), count=5).execute()
+        assert len(rows) == 5
+        assert Limit(SeqScan(database.heap), count=0).execute() == []
+
+    def test_composed_plan(self, database):
+        plan = Limit(
+            Project(
+                Filter(SeqScan(database.heap),
+                       predicate=lambda row: row[0] >= 100),
+                columns=[0]),
+            count=3)
+        assert plan.execute() == [[100], [101], [102]]
+
+
+class TestReferenceStrings:
+    def test_lookup_touches_three_pages(self, database):
+        recorder = TraceRecorder()
+        database.pool.observer = recorder
+        try:
+            IndexLookup(database.index, database.heap, key=123).execute()
+        finally:
+            database.pool.observer = None
+        assert len(recorder) == 3  # root, leaf, record page
+
+    def test_limit_stops_page_references_early(self, database):
+        recorder = TraceRecorder()
+        database.pool.observer = recorder
+        try:
+            Limit(SeqScan(database.heap), count=2).execute()
+        finally:
+            database.pool.observer = None
+        # Two rows live on the first record page: one page reference.
+        assert len(recorder) <= 2
+
+    def test_seq_scan_touches_every_record_page_once(self, database):
+        recorder = TraceRecorder()
+        database.pool.observer = recorder
+        try:
+            SeqScan(database.heap).execute()
+        finally:
+            database.pool.observer = None
+        assert recorder.pages() == database.record_pages()

@@ -1,0 +1,55 @@
+"""Additional edge-case tests for record encoding and RIDs."""
+
+import pytest
+
+from repro.db.record import RecordId, decode_fields, encode_fields
+from repro.errors import DatabaseError
+
+
+class TestRecordEncodingEdges:
+    def test_empty_field_list(self):
+        assert decode_fields(encode_fields([])) == []
+
+    def test_negative_and_boundary_integers(self):
+        fields = [0, -1, 2 ** 62, -(2 ** 62)]
+        assert decode_fields(encode_fields(fields)) == fields
+
+    def test_unicode_strings(self):
+        fields = ["héllo wörld", "данные", "ページ"]
+        assert decode_fields(encode_fields(fields)) == fields
+
+    def test_empty_string_and_bytes_distinct(self):
+        decoded = decode_fields(encode_fields(["", b""]))
+        assert decoded == ["", b""]
+        assert isinstance(decoded[0], str)
+        assert isinstance(decoded[1], bytes)
+
+    def test_boolean_rejected_explicitly(self):
+        # bool is an int subclass; silently encoding it would decode as
+        # an int and corrupt the schema, so it must be refused.
+        with pytest.raises(DatabaseError):
+            encode_fields([True])
+
+    def test_too_short_buffer_rejected(self):
+        with pytest.raises(DatabaseError):
+            decode_fields(b"\x01")
+
+    def test_unknown_tag_rejected(self):
+        raw = bytearray(encode_fields([5]))
+        raw[2] = 0x77  # clobber the type tag
+        with pytest.raises(DatabaseError):
+            decode_fields(bytes(raw))
+
+
+class TestRecordIdEdges:
+    def test_ordering_is_page_then_slot(self):
+        assert RecordId(1, 5) < RecordId(2, 0)
+        assert RecordId(1, 5) < RecordId(1, 6)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(DatabaseError):
+            RecordId.from_bytes(b"\x00" * 3)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {RecordId(1, 2): "a", RecordId(1, 3): "b"}
+        assert mapping[RecordId(1, 2)] == "a"

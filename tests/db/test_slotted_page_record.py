@@ -1,0 +1,155 @@
+"""Tests for slotted pages and record encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.record import RecordId, decode_fields, encode_fields
+from repro.db.slotted_page import SlottedPage
+from repro.errors import DatabaseError, PageOverflowError
+
+
+class TestRecordEncoding:
+    def test_roundtrip_mixed_fields(self):
+        fields = [42, "hello", b"\x00\x01", -7, ""]
+        assert decode_fields(encode_fields(fields)) == fields
+
+    @given(fields=st.lists(
+        st.one_of(st.integers(min_value=-2**62, max_value=2**62),
+                  st.text(max_size=40),
+                  st.binary(max_size=40)),
+        max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_any_fields(self, fields):
+        assert decode_fields(encode_fields(fields)) == fields
+
+    def test_truncated_record_rejected(self):
+        encoded = encode_fields([123456789, "text"])
+        with pytest.raises(DatabaseError):
+            decode_fields(encoded[:-3])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(DatabaseError):
+            encode_fields([3.14])
+
+    def test_record_id_roundtrip(self):
+        rid = RecordId(page_id=1234, slot=56)
+        assert RecordId.from_bytes(rid.to_bytes()) == rid
+        assert len(rid.to_bytes()) == RecordId.encoded_size()
+
+
+class TestSlottedPage:
+    def test_insert_and_get(self):
+        page = SlottedPage()
+        slot = page.insert(b"first")
+        assert page.get(slot) == b"first"
+
+    def test_multiple_records_keep_slots(self):
+        page = SlottedPage()
+        slots = [page.insert(f"record-{i}".encode()) for i in range(10)]
+        for index, slot in enumerate(slots):
+            assert page.get(slot) == f"record-{index}".encode()
+
+    def test_payload_roundtrip(self):
+        page = SlottedPage()
+        page.insert(b"alpha")
+        page.insert(b"beta")
+        recovered = SlottedPage(page.to_payload())
+        assert recovered.get(0) == b"alpha"
+        assert recovered.get(1) == b"beta"
+
+    def test_delete_tombstones(self):
+        page = SlottedPage()
+        slot = page.insert(b"doomed")
+        page.delete(slot)
+        with pytest.raises(DatabaseError):
+            page.get(slot)
+        with pytest.raises(DatabaseError):
+            page.delete(slot)
+
+    def test_tombstone_slot_reused(self):
+        page = SlottedPage()
+        slot_a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(slot_a)
+        slot_c = page.insert(b"c")
+        assert slot_c == slot_a
+        assert page.get(slot_c) == b"c"
+
+    def test_update_in_place_smaller(self):
+        page = SlottedPage()
+        slot = page.insert(b"longer record")
+        page.update(slot, b"short")
+        assert page.get(slot) == b"short"
+
+    def test_update_grows_via_compaction(self):
+        page = SlottedPage()
+        slot = page.insert(b"tiny")
+        page.insert(b"other")
+        page.update(slot, b"much longer record than before")
+        assert page.get(slot) == b"much longer record than before"
+        assert page.get(1) == b"other"
+
+    def test_fill_until_overflow(self):
+        page = SlottedPage()
+        record = b"x" * 100
+        count = 0
+        while page.fits(record):
+            page.insert(record)
+            count += 1
+        assert count > 30
+        with pytest.raises(PageOverflowError):
+            page.insert(record)
+
+    def test_compaction_reclaims_deleted_space(self):
+        page = SlottedPage()
+        record = b"y" * 200
+        slots = []
+        while page.fits(record):
+            slots.append(page.insert(record))
+        for slot in slots[: len(slots) // 2]:
+            page.delete(slot)
+        # Space was reclaimed: more inserts now succeed.
+        inserted = 0
+        while page.fits(record) or inserted == 0:
+            page.insert(record)
+            inserted += 1
+            if inserted > len(slots):
+                break
+        assert inserted >= len(slots) // 2
+
+    def test_oversized_record_rejected_outright(self):
+        page = SlottedPage()
+        with pytest.raises(PageOverflowError):
+            page.insert(b"z" * 5000)
+
+    def test_records_iterates_live_only(self):
+        page = SlottedPage()
+        page.insert(b"keep")
+        doomed = page.insert(b"drop")
+        page.insert(b"also-keep")
+        page.delete(doomed)
+        assert [record for _, record in page.records()] == [b"keep",
+                                                            b"also-keep"]
+        assert page.live_records == 2
+
+    def test_bad_slot_rejected(self):
+        page = SlottedPage()
+        with pytest.raises(DatabaseError):
+            page.get(0)
+        with pytest.raises(DatabaseError):
+            page.get(-1)
+
+    @given(records=st.lists(st.binary(min_size=1, max_size=120),
+                            min_size=1, max_size=25))
+    @settings(max_examples=75, deadline=None)
+    def test_roundtrip_property(self, records):
+        page = SlottedPage()
+        slots = []
+        for record in records:
+            if not page.fits(record):
+                break
+            slots.append((page.insert(record), record))
+        recovered = SlottedPage(page.to_payload())
+        for slot, record in slots:
+            assert recovered.get(slot) == record

@@ -1,0 +1,138 @@
+"""Stateful property tests: data structures against oracle models.
+
+Hypothesis drives random operation sequences against the slotted page and
+the B+-tree while a plain-dict model tracks what the contents *should*
+be; any divergence shrinks to a minimal failing sequence.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.buffer import BufferPool
+from repro.db import BPlusTree
+from repro.db.slotted_page import SlottedPage
+from repro.errors import PageOverflowError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+
+keys = st.integers(min_value=0, max_value=500)
+payloads = st.binary(min_size=1, max_size=60)
+
+
+class SlottedPageMachine(RuleBasedStateMachine):
+    """SlottedPage vs a {slot: bytes} model."""
+
+    def __init__(self):
+        super().__init__()
+        self.page = SlottedPage()
+        self.model = {}
+
+    @rule(record=payloads)
+    def insert(self, record):
+        if not self.page.fits(record):
+            return
+        slot = self.page.insert(record)
+        assert slot not in self.model
+        self.model[slot] = record
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def get(self, data):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.page.get(slot) == self.model[slot]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        self.page.delete(slot)
+        del self.model[slot]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), record=payloads)
+    def update(self, data, record):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        try:
+            self.page.update(slot, record)
+        except PageOverflowError:
+            return  # legal refusal when the grown record cannot fit
+        self.model[slot] = record
+
+    @rule()
+    def roundtrip_through_payload(self):
+        self.page = SlottedPage(self.page.to_payload())
+
+    @invariant()
+    def contents_match_model(self):
+        live = dict(self.page.records())
+        assert live == self.model
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    """BPlusTree vs a {key: value} model, with tiny fan-out for splits."""
+
+    def __init__(self):
+        super().__init__()
+        pool = BufferPool(SimulatedDisk(), LRUPolicy(), capacity=512)
+        self.tree = BPlusTree(pool, value_size=10, max_leaf_keys=4,
+                              max_internal_keys=4)
+        self.model = {}
+
+    @staticmethod
+    def _value(key: int) -> bytes:
+        return b"%010d" % key
+
+    @rule(key=keys)
+    def insert(self, key):
+        if key in self.model:
+            self.tree.insert(key, self._value(key + 1), allow_update=True)
+            self.model[key] = self._value(key + 1)
+        else:
+            self.tree.insert(key, self._value(key))
+            self.model[key] = self._value(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.delete(key)
+        del self.model[key]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def search_present(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.search(key) == self.model[key]
+
+    @rule(key=keys)
+    def search_any(self, key):
+        assert self.tree.contains(key) == (key in self.model)
+
+    @rule(low=keys, high=keys)
+    def range_scan_matches(self, low, high):
+        if low > high:
+            low, high = high, low
+        scanned = dict(self.tree.range_scan(low, high))
+        expected = {k: v for k, v in self.model.items()
+                    if low <= k <= high}
+        assert scanned == expected
+
+    @invariant()
+    def ordered_and_complete(self):
+        self.tree.check_invariants()
+
+
+TestSlottedPageStateful = SlottedPageMachine.TestCase
+TestSlottedPageStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None)

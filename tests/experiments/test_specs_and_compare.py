@@ -1,0 +1,118 @@
+"""Tests for the experiment specs, published data, and comparison tools."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    PAPER_TABLE_4_1,
+    PAPER_TABLE_4_2,
+    PAPER_TABLE_4_3,
+    comparison_table,
+    shape_check,
+    table_4_1_spec,
+    table_4_2_spec,
+    table_4_3_spec,
+)
+from repro.experiments.paper_data import PAPER_TRACE_STATS
+from repro.experiments.table41 import TABLE_4_1_CAPACITIES
+from repro.experiments.table42 import TABLE_4_2_CAPACITIES
+from repro.experiments.table43 import TABLE_4_3_CAPACITIES
+from repro.sim import run_experiment
+
+
+class TestPaperData:
+    def test_table_41_shape(self):
+        assert len(PAPER_TABLE_4_1) == 13
+        assert [row.capacity for row in PAPER_TABLE_4_1] == list(
+            TABLE_4_1_CAPACITIES)
+        for row in PAPER_TABLE_4_1:
+            assert set(row.hit_ratios) == {"LRU-1", "LRU-2", "LRU-3", "A0"}
+            assert row.equi_effective > 1.0
+
+    def test_table_42_shape(self):
+        assert len(PAPER_TABLE_4_2) == 11
+        assert [row.capacity for row in PAPER_TABLE_4_2] == list(
+            TABLE_4_2_CAPACITIES)
+
+    def test_table_43_shape(self):
+        assert len(PAPER_TABLE_4_3) == 14
+        assert [row.capacity for row in PAPER_TABLE_4_3] == list(
+            TABLE_4_3_CAPACITIES)
+        for row in PAPER_TABLE_4_3:
+            assert row.ratio("LRU-2") >= row.ratio("LRU-1")
+
+    def test_published_hit_ratios_are_probabilities(self):
+        for table in (PAPER_TABLE_4_1, PAPER_TABLE_4_2, PAPER_TABLE_4_3):
+            for row in table:
+                for value in row.hit_ratios.values():
+                    assert 0.0 <= value <= 1.0
+
+    def test_trace_stats_constants(self):
+        assert PAPER_TRACE_STATS["references"] == 470_000
+        assert PAPER_TRACE_STATS["five_minute_pages"] == 1400
+
+
+class TestSpecBuilders:
+    def test_table_41_spec_defaults(self):
+        spec = table_4_1_spec()
+        assert spec.warmup == 1000          # 10 * N1
+        assert spec.measured == 3000        # 30 * N1
+        assert [s.label for s in spec.policies] == [
+            "LRU-1", "LRU-2", "LRU-3", "A0"]
+        assert spec.equi_effective == ("LRU-1", "LRU-2")
+
+    def test_table_41_size_factor(self):
+        spec = table_4_1_spec(size_factor=3, capacities=[300])
+        assert spec.workload.n1 == 300
+        assert spec.workload.n2 == 30_000
+        assert spec.warmup == 3000
+
+    def test_table_42_spec_policies(self):
+        spec = table_4_2_spec()
+        assert [s.label for s in spec.policies] == ["LRU-1", "LRU-2", "A0"]
+
+    def test_table_43_scaled_lengths(self):
+        spec = table_4_3_spec(scale=0.1)
+        assert spec.warmup + spec.measured == 47_000
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_4_1_spec(scale=0)
+        with pytest.raises(ConfigurationError):
+            table_4_3_spec(scale=-1)
+
+
+class TestComparisonAndShape:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        spec = table_4_1_spec(scale=0.5, capacities=[60, 100],
+                              repetitions=1, include_lru3=False,
+                              include_equi_effective=False)
+        return run_experiment(spec)
+
+    def test_comparison_table_pairs_columns(self, quick_result):
+        table = comparison_table(quick_result, PAPER_TABLE_4_1)
+        assert "LRU-1 (paper)" in table.columns
+        assert "LRU-1 (ours)" in table.columns
+        rendered = table.render()
+        assert "0.140" in rendered  # the published B=60 LRU-1 value
+
+    def test_shape_check_passes_on_real_result(self, quick_result):
+        check = shape_check(quick_result, ordering=["LRU-1", "LRU-2"])
+        assert check.passed, check.failures
+
+    def test_shape_check_detects_violations(self, quick_result):
+        check = shape_check(quick_result, ordering=["LRU-2", "LRU-1"])
+        assert not check.passed
+        assert check.failures
+
+    def test_shape_check_min_gap(self, quick_result):
+        impossible = shape_check(quick_result,
+                                 ordering=["LRU-1", "LRU-2"],
+                                 min_gap_at=(100, "LRU-1", "LRU-2", 0.9))
+        assert not impossible.passed
+
+    def test_shape_check_unknown_capacity_rejected(self, quick_result):
+        with pytest.raises(ConfigurationError):
+            shape_check(quick_result, ordering=["LRU-1", "LRU-2"],
+                        min_gap_at=(999, "LRU-1", "LRU-2", 0.1))

@@ -1,0 +1,61 @@
+"""Integration: the full buffer pool and the policy-level simulator make
+identical replacement decisions when no pins intervene.
+
+Both drivers speak the same policy protocol; this is the test that keeps
+them honest (DESIGN.md design decision 6).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import BufferPool
+from repro.core import LRUKPolicy
+from repro.policies import FIFOPolicy, LFUPolicy, LRUPolicy
+from repro.sim import CacheSimulator
+from repro.storage import SimulatedDisk
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "lfu": LFUPolicy,
+    "lru2": lambda: LRUKPolicy(k=2),
+    "lru3-crp": lambda: LRUKPolicy(k=3, correlated_reference_period=2),
+}
+
+traces = st.lists(st.integers(min_value=0, max_value=14),
+                  min_size=1, max_size=100)
+capacities = st.integers(min_value=1, max_value=5)
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=25, deadline=None)
+def test_pool_and_simulator_agree(name, trace, capacity):
+    factory = POLICIES[name]
+
+    simulator = CacheSimulator(factory(), capacity)
+    for page in trace:
+        simulator.access(page)
+
+    disk = SimulatedDisk()
+    disk.allocate_many(15)
+    pool = BufferPool(disk, factory(), capacity)
+    for page in trace:
+        pool.fetch(page, pin=False)
+
+    assert pool.resident_pages == simulator.resident_pages
+    assert pool.stats.hits == simulator.counter.hits
+    assert pool.stats.misses == simulator.counter.misses
+    assert pool.stats.evictions == simulator.evictions
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=25, deadline=None)
+def test_pool_physical_reads_equal_misses(trace, capacity):
+    disk = SimulatedDisk()
+    disk.allocate_many(15)
+    pool = BufferPool(disk, LRUPolicy(), capacity)
+    for page in trace:
+        pool.fetch(page, pin=False)
+    assert disk.stats.reads == pool.stats.misses

@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs end to end (reduced sizes).
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each test imports the script as a module and executes its ``main`` with
+shrunken parameters where the script accepts them.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "LRU-2 (the paper)" in out
+        assert "B(1)/B(2)" in out
+
+    def test_example_1_1(self, capsys, monkeypatch):
+        module = load_example("example_1_1_btree.py")
+        monkeypatch.setattr(sys, "argv",
+                            ["example_1_1_btree.py", "--customers", "600",
+                             "--lookups", "1500"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "index pages held" in out
+        assert "LRU-2" in out
+
+    def test_oltp_bank_trace(self, capsys, monkeypatch, tmp_path):
+        module = load_example("oltp_bank_trace.py")
+        monkeypatch.setattr(sys, "argv",
+                            ["oltp_bank_trace.py", "--scale", "0.02",
+                             "--trace-file",
+                             str(tmp_path / "bank.trace")])
+        module.main()
+        out = capsys.readouterr().out
+        assert "Trace characterization" in out
+        assert "LRU-2" in out
+
+    def test_moving_hotspot_adaptivity(self, capsys, monkeypatch):
+        module = load_example("moving_hotspot_adaptivity.py")
+        monkeypatch.setattr(module, "EPOCHS", 2)
+        monkeypatch.setattr(module, "EPOCH_LENGTH", 4000)
+        monkeypatch.setattr(module, "WINDOW", 2000)
+        module.main()
+        out = capsys.readouterr().out
+        assert "hot set jumped" in out
+        assert "LFU" in out
+
+    def test_tuning_crp_rip(self, capsys, monkeypatch):
+        module = load_example("tuning_crp_rip.py")
+        module.part_2_rip()   # the cheaper half exercises both helpers
+        out = capsys.readouterr().out
+        assert "Five Minute Rule break-even" in out
+        assert "history blocks" in out
+
+    def test_scan_swamping(self, capsys, monkeypatch):
+        module = load_example("sequential_scan_swamping.py")
+        monkeypatch.setattr(module, "REFERENCES", 12_000)
+        monkeypatch.setattr(module, "WARMUP", 3_000)
+        monkeypatch.setattr(module, "BUFFER_PAGES", 550)
+        module.main()
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "MRU" in out

@@ -1,0 +1,134 @@
+"""Property-based invariants that every policy must satisfy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.policies import (
+    ARCPolicy,
+    A0Policy,
+    AgedLFUPolicy,
+    BeladyPolicy,
+    ClockPolicy,
+    FBRPolicy,
+    LIRSPolicy,
+    FIFOPolicy,
+    GClockPolicy,
+    LFUPolicy,
+    LRDV1Policy,
+    LRDV2Policy,
+    LRUPolicy,
+    MRUPolicy,
+    MultiPoolPolicy,
+    RandomPolicy,
+    SLRUPolicy,
+    TwoQPolicy,
+    WorkingSetPolicy,
+)
+from repro.sim import CacheSimulator
+
+from ..conftest import simulate_opt_misses
+
+PAGE_UNIVERSE = 15
+CAPACITY_MAX = 6
+
+
+def build_all_policies(capacity: int, trace):
+    """One instance of every policy, ready for the given run."""
+    uniform = {page: 1.0 / PAGE_UNIVERSE for page in range(PAGE_UNIVERSE)}
+    opt = BeladyPolicy()
+    opt.prepare(trace)
+    return [
+        LRUPolicy(),
+        FIFOPolicy(),
+        MRUPolicy(),
+        RandomPolicy(seed=1),
+        ClockPolicy(),
+        GClockPolicy(),
+        LFUPolicy(),
+        AgedLFUPolicy(aging_period=17),
+        LRDV1Policy(),
+        LRDV2Policy(aging_interval=13, decay=0.5),
+        WorkingSetPolicy(window=9),
+        A0Policy(uniform),
+        opt,
+        TwoQPolicy(capacity=capacity),
+        ARCPolicy(capacity=capacity),
+        SLRUPolicy(capacity=max(2, capacity)),
+        FBRPolicy(capacity=max(4, capacity)),
+        LIRSPolicy(capacity=max(2, capacity)),
+        LRUKPolicy(k=2),
+        LRUKPolicy(k=3, correlated_reference_period=2),
+        MultiPoolPolicy(domain_of=lambda p: p % 2,
+                        quotas={0: max(1, capacity // 2),
+                                1: max(1, capacity - capacity // 2)}),
+    ]
+
+
+traces = st.lists(st.integers(min_value=0, max_value=PAGE_UNIVERSE - 1),
+                  min_size=1, max_size=80)
+capacities = st.integers(min_value=1, max_value=CAPACITY_MAX)
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=40, deadline=None)
+def test_every_policy_respects_capacity_and_residency(trace, capacity):
+    for policy in build_all_policies(capacity, trace):
+        simulator = CacheSimulator(policy, capacity)
+        for page in trace:
+            simulator.access(page)
+            assert len(simulator.resident_pages) <= capacity
+            assert simulator.is_resident(page)
+            assert simulator.resident_pages == policy.resident_pages
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=40, deadline=None)
+def test_no_policy_beats_belady(trace, capacity):
+    """OPT's miss count lower-bounds every online policy."""
+    optimal = simulate_opt_misses(trace, capacity)
+    for policy in build_all_policies(capacity, trace):
+        simulator = CacheSimulator(policy, capacity)
+        for page in trace:
+            simulator.access(page)
+        assert simulator.counter.misses >= optimal, type(policy).__name__
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=30, deadline=None)
+def test_miss_count_at_least_distinct_pages(trace, capacity):
+    """Compulsory misses: every distinct page misses at least once."""
+    distinct = len(set(trace))
+    for policy in build_all_policies(capacity, trace):
+        simulator = CacheSimulator(policy, capacity)
+        for page in trace:
+            simulator.access(page)
+        assert simulator.counter.misses >= min(distinct, len(trace))
+
+
+@given(trace=traces)
+@settings(max_examples=30, deadline=None)
+def test_unbounded_buffer_only_compulsory_misses(trace):
+    """With capacity >= universe, every policy misses exactly once per page."""
+    for policy in build_all_policies(PAGE_UNIVERSE, trace):
+        simulator = CacheSimulator(policy, PAGE_UNIVERSE)
+        for page in trace:
+            simulator.access(page)
+        assert simulator.counter.misses == len(set(trace))
+        assert simulator.evictions == 0
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=25, deadline=None)
+def test_reset_reproduces_identical_run(trace, capacity):
+    for policy in build_all_policies(capacity, trace):
+        first = CacheSimulator(policy, capacity)
+        for page in trace:
+            first.access(page)
+        hits_first = first.counter.hits
+        policy.reset()
+        second = CacheSimulator(policy, capacity)
+        for page in trace:
+            second.access(page)
+        assert second.counter.hits == hits_first, type(policy).__name__

@@ -1,0 +1,101 @@
+"""Tests for LFU and aged LFU."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoEvictableFrameError
+from repro.policies import AgedLFUPolicy, LFUPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, eviction_order
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        # 1 and 2 referenced twice, 3 once -> 3 is the victim.
+        assert eviction_order(LFUPolicy(), [1, 2, 1, 2, 3, 4],
+                              capacity=3) == [3]
+
+    def test_ties_break_by_recency(self):
+        # All counts equal: evict the least recently touched (1).
+        assert eviction_order(LFUPolicy(), [1, 2, 3, 4], capacity=3) == [1]
+
+    def test_never_forgets_counts_across_eviction(self):
+        # Page 1 accumulates count 3, gets evicted by a parade, and on
+        # return immediately outranks count-1 pages: the paper's
+        # "never forgets" property.
+        policy = LFUPolicy()
+        simulator = CacheSimulator(policy, capacity=2)
+        # 1 reaches count 2, then is evicted by count-3 pages 2 and 3.
+        for page in [1, 1, 2, 2, 2, 3, 3, 3]:
+            simulator.access(page)
+        assert not simulator.is_resident(1)
+        assert policy.reference_count(1) == 2   # remembered while absent
+        simulator.access(1)                     # count rises to 3
+        assert policy.reference_count(1) == 3
+        assert simulator.is_resident(1)
+
+    def test_paper_criticism_stale_hot_page_sticks(self):
+        # A formerly-hot page hogs a slot long after it went cold — the
+        # exact LFU drawback Section 4.3 describes.
+        policy = LFUPolicy()
+        simulator = CacheSimulator(policy, capacity=2)
+        for _ in range(50):
+            simulator.access(1)            # ancient popularity
+        for page in range(100, 120):       # new era: 1 never referenced
+            simulator.access(page)
+        assert simulator.is_resident(1)    # still squatting
+
+    def test_exclusions(self):
+        policy = LFUPolicy()
+        drive(policy, [1, 1, 2, 3], capacity=3)
+        assert policy.choose_victim(4, exclude=frozenset({2})) == 3
+
+    def test_all_excluded_raises(self):
+        policy = LFUPolicy()
+        drive(policy, [1, 2], capacity=2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(3, exclude=frozenset({1, 2}))
+
+    def test_choose_victim_is_repeatable(self):
+        policy = LFUPolicy()
+        drive(policy, [1, 1, 2, 3], capacity=3)
+        assert policy.choose_victim(5) == policy.choose_victim(5)
+
+    def test_reset_clears_counts(self):
+        policy = LFUPolicy()
+        drive(policy, [1, 1, 1], capacity=2)
+        policy.reset()
+        assert policy.reference_count(1) == 0
+
+
+class TestAgedLFU:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            AgedLFUPolicy(aging_period=0)
+
+    def test_aging_halves_counts(self):
+        policy = AgedLFUPolicy(aging_period=10)
+        simulator = CacheSimulator(policy, capacity=4)
+        for _ in range(8):
+            simulator.access(1)            # count 8 by t=8
+        for t in range(100, 104):
+            simulator.access(t)            # crosses the aging boundary
+        assert policy.reference_count(1) < 8
+
+    def test_aged_lfu_recovers_from_stale_hot_page(self):
+        # With aging, the formerly-hot page eventually loses its slot —
+        # the behaviour plain LFU cannot produce (contrast test above).
+        policy = AgedLFUPolicy(aging_period=20)
+        simulator = CacheSimulator(policy, capacity=2)
+        for _ in range(50):
+            simulator.access(1)
+        for page in range(100, 300):
+            simulator.access(page)
+        assert not simulator.is_resident(1)
+
+    def test_aged_matches_plain_lfu_before_first_aging(self):
+        trace = [1, 2, 1, 3, 2, 4, 1]
+        plain = eviction_order(LFUPolicy(), trace, capacity=3)
+        aged = eviction_order(AgedLFUPolicy(aging_period=10 ** 6),
+                              trace, capacity=3)
+        assert plain == aged

@@ -1,0 +1,124 @@
+"""Tests for LIRS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NoEvictableFrameError
+from repro.policies import LIRSPolicy, LRUPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, hit_ratio
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LIRSPolicy(capacity=0)
+        with pytest.raises(ConfigurationError):
+            LIRSPolicy(capacity=10, hir_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LIRSPolicy(capacity=10, ghost_factor=0.0)
+
+    def test_set_sizes(self):
+        policy = LIRSPolicy(capacity=100, hir_fraction=0.05)
+        assert policy.hir_size == 5
+        assert policy.lir_size == 95
+
+
+class TestTransitions:
+    def test_cold_start_fills_lir_first(self):
+        policy = LIRSPolicy(capacity=6, hir_fraction=0.34)  # lir_size 4
+        drive(policy, [1, 2, 3, 4], capacity=6)
+        assert policy.lir_pages == {1, 2, 3, 4}
+        assert not policy.resident_hir_pages
+
+    def test_overflow_becomes_hir(self):
+        policy = LIRSPolicy(capacity=6, hir_fraction=0.34)
+        drive(policy, [1, 2, 3, 4, 5], capacity=6)
+        assert 5 in policy.resident_hir_pages
+
+    def test_victim_is_hir_front(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)  # lir 2, hir 2
+        simulator = drive(policy, [1, 2, 3, 4], capacity=4)
+        assert policy.resident_hir_pages == {3, 4}
+        outcome = simulator.access(5)
+        assert outcome.evicted == 3        # FIFO front of Q
+
+    def test_evicted_hir_leaves_ghost(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)
+        simulator = drive(policy, [1, 2, 3, 4], capacity=4)
+        simulator.access(5)                # evicts 3 -> ghost
+        assert 3 in policy.ghost_pages
+
+    def test_ghost_hit_promotes_to_lir(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)
+        simulator = drive(policy, [1, 2, 3, 4], capacity=4)
+        simulator.access(5)                # 3 becomes a ghost
+        simulator.access(3)                # ghost hit -> LIR
+        assert 3 in policy.lir_pages
+
+    def test_hir_hit_in_stack_promotes(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)
+        simulator = drive(policy, [1, 2, 3], capacity=4)
+        assert 3 in policy.resident_hir_pages
+        simulator.access(3)                # still in S -> promote
+        assert 3 in policy.lir_pages
+        # A LIR page was demoted to keep the set size.
+        assert len(policy.lir_pages) == policy.lir_size
+
+    def test_lir_hit_keeps_state(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)
+        simulator = drive(policy, [1, 2], capacity=4)
+        simulator.access(1)
+        assert 1 in policy.lir_pages
+
+    def test_ghosts_are_bounded(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5, ghost_factor=1.0)
+        simulator = CacheSimulator(policy, 4)
+        for page in range(200):
+            simulator.access(page)
+        assert len(policy.ghost_pages) <= policy.ghost_limit
+
+    def test_exclusions_fall_back_to_lir(self):
+        policy = LIRSPolicy(capacity=4, hir_fraction=0.5)
+        drive(policy, [1, 2, 3, 4], capacity=4)
+        victim = policy.choose_victim(5, exclude=frozenset({3, 4}))
+        assert victim in (1, 2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(5, exclude=frozenset({1, 2, 3, 4}))
+
+
+class TestBehaviour:
+    def test_scan_resistance_beats_lru(self):
+        from repro.stats import SeededRng
+        rng = SeededRng(12)
+        hot = [rng.randrange(8) for _ in range(4000)]
+        scan = list(range(100, 500))
+        trace = hot[:2000] + scan + hot[2000:]
+        lirs = hit_ratio(LIRSPolicy(capacity=16), trace, 16, warmup=500)
+        lru = hit_ratio(LRUPolicy(), trace, 16, warmup=500)
+        assert lirs > lru
+
+    def test_discriminates_two_pool(self, two_pool_trace):
+        lirs = hit_ratio(LIRSPolicy(capacity=10), two_pool_trace, 10,
+                         warmup=500)
+        lru = hit_ratio(LRUPolicy(), two_pool_trace, 10, warmup=500)
+        assert lirs > lru
+
+    @given(trace=st.lists(st.integers(min_value=0, max_value=20),
+                          min_size=1, max_size=200),
+           capacity=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=75, deadline=None)
+    def test_state_partition_invariant(self, trace, capacity):
+        """Residents are exactly LIR + resident-HIR, disjointly."""
+        policy = LIRSPolicy(capacity=capacity, hir_fraction=0.4)
+        simulator = CacheSimulator(policy, capacity)
+        for page in trace:
+            simulator.access(page)
+            lir = policy.lir_pages
+            hir = policy.resident_hir_pages
+            assert lir.isdisjoint(hir)
+            assert lir | hir == simulator.resident_pages
+            assert policy.ghost_pages.isdisjoint(simulator.resident_pages)
+            assert len(lir) <= policy.lir_size

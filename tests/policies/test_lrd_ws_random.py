@@ -1,0 +1,142 @@
+"""Tests for LRD (V1/V2), Working-Set, and Random policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoEvictableFrameError
+from repro.policies import (
+    LRDV1Policy,
+    LRDV2Policy,
+    RandomPolicy,
+    WorkingSetPolicy,
+)
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, eviction_order
+
+
+class TestLRDV1:
+    def test_evicts_lowest_density(self):
+        policy = LRDV1Policy()
+        simulator = CacheSimulator(policy, capacity=3)
+        # Page 1: 3 refs; page 2: 1 ref; page 3: 1 ref (younger than 2).
+        for page in [1, 2, 1, 3, 1]:
+            simulator.access(page)
+        # Densities at t=6: p1=3/5... wait ages: p1 age 6-1+1=6 -> 0.5;
+        # p2 age 5 -> 0.2; p3 age 3 -> 0.33. Victim: p2.
+        assert policy.choose_victim(6) == 2
+
+    def test_density_resets_after_eviction(self):
+        policy = LRDV1Policy()
+        simulator = CacheSimulator(policy, capacity=2)
+        for page in [1, 1, 1, 2, 3]:   # 2 evicted (density 1/4 < ...)
+            simulator.access(page)
+        assert not simulator.is_resident(2)
+        assert 2 not in policy._count  # V1 forgets on eviction
+
+    def test_exclusions(self):
+        policy = LRDV1Policy()
+        drive(policy, [1, 1, 2, 3], capacity=3)
+        victim = policy.choose_victim(5, exclude=frozenset({2, 3}))
+        assert victim == 1
+
+    def test_all_excluded_raises(self):
+        policy = LRDV1Policy()
+        drive(policy, [1, 2], capacity=2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(3, exclude=frozenset({1, 2}))
+
+
+class TestLRDV2:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LRDV2Policy(aging_interval=0)
+        with pytest.raises(ConfigurationError):
+            LRDV2Policy(decay=1.0)
+        with pytest.raises(ConfigurationError):
+            LRDV2Policy(decay=0.0)
+
+    def test_decay_erodes_ancient_popularity(self):
+        policy = LRDV2Policy(aging_interval=10, decay=0.5)
+        simulator = CacheSimulator(policy, capacity=4)
+        for _ in range(8):
+            simulator.access(1)
+        count_before = policy._count[1]
+        for t in range(100, 104):
+            simulator.access(t)
+        assert policy._count[1] < count_before
+
+    def test_matches_v1_before_first_aging(self):
+        trace = [1, 1, 2, 3, 2, 4]
+        v1 = eviction_order(LRDV1Policy(), trace, capacity=3)
+        v2 = eviction_order(LRDV2Policy(aging_interval=10 ** 6),
+                            trace, capacity=3)
+        assert v1 == v2
+
+
+class TestWorkingSet:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            WorkingSetPolicy(window=0)
+
+    def test_out_of_window_page_evicted_first(self):
+        policy = WorkingSetPolicy(window=3)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in [1, 2, 3, 2, 3, 2]:   # 1 last seen at t=1
+            simulator.access(page)
+        assert not policy.in_working_set(1, simulator.now)
+        assert policy.choose_victim(7) == 1
+
+    def test_degrades_to_lru_when_all_in_window(self):
+        policy = WorkingSetPolicy(window=1000)
+        assert eviction_order(policy, [1, 2, 3, 1, 4], capacity=3) == [2]
+
+    def test_working_set_size(self):
+        policy = WorkingSetPolicy(window=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [1, 2, 3]:
+            simulator.access(page)
+        assert policy.working_set_size(simulator.now) == 2  # pages 2, 3
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        trace = [1, 2, 3, 4, 5, 1, 6, 2, 7]
+        first = eviction_order(RandomPolicy(seed=9), trace, capacity=3)
+        second = eviction_order(RandomPolicy(seed=9), trace, capacity=3)
+        assert first == second
+
+    def test_different_seeds_can_differ(self):
+        trace = list(range(30)) * 2
+        runs = {tuple(eviction_order(RandomPolicy(seed=s), trace, capacity=5))
+                for s in range(6)}
+        assert len(runs) > 1
+
+    def test_victim_is_always_resident(self):
+        policy = RandomPolicy(seed=3)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in range(40):
+            outcome = simulator.access(page % 11)
+            if outcome.evicted is not None:
+                assert outcome.evicted != outcome.reference.page
+        assert len(simulator.resident_pages) <= 4
+
+    def test_exclusions(self):
+        policy = RandomPolicy(seed=0)
+        drive(policy, [1, 2, 3], capacity=3)
+        for _ in range(10):
+            assert policy.choose_victim(4, exclude=frozenset({1, 2})) == 3
+
+    def test_all_excluded_raises(self):
+        policy = RandomPolicy(seed=0)
+        drive(policy, [1], capacity=1)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(2, exclude=frozenset({1}))
+
+    def test_swap_remove_bookkeeping(self):
+        policy = RandomPolicy(seed=5)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in [1, 2, 3, 4, 5, 2, 6, 7]:
+            simulator.access(page)
+        assert set(policy._pages) == set(simulator.resident_pages)
+        assert all(policy._pages[i] == p
+                   for p, i in policy._slot_of.items())

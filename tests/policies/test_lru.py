@@ -1,0 +1,86 @@
+"""Tests for classical LRU (the paper's LRU-1)."""
+
+import pytest
+
+from repro.errors import NoEvictableFrameError, PolicyError
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, eviction_order
+
+
+class TestLRUSemantics:
+    def test_evicts_least_recently_used(self):
+        assert eviction_order(LRUPolicy(), [1, 2, 3, 4], capacity=3) == [1]
+
+    def test_hit_refreshes_recency(self):
+        # 1 is touched again, so 2 becomes the victim.
+        assert eviction_order(LRUPolicy(), [1, 2, 3, 1, 4], capacity=3) == [2]
+
+    def test_classic_sequential_flooding(self):
+        # A cyclic scan one page larger than the buffer never hits — the
+        # canonical LRU pathology.
+        trace = [0, 1, 2, 3] * 5
+        simulator = drive(LRUPolicy(), trace, capacity=3)
+        assert simulator.counter.hits == 0
+
+    def test_recency_order_exposed(self):
+        policy = LRUPolicy()
+        drive(policy, [1, 2, 3, 1], capacity=3)
+        assert policy.recency_order() == [2, 3, 1]
+
+    def test_exclusion_skips_pinned_page(self):
+        policy = LRUPolicy()
+        drive(policy, [1, 2, 3], capacity=3)
+        assert policy.choose_victim(4, exclude=frozenset({1})) == 2
+
+    def test_all_excluded_raises(self):
+        policy = LRUPolicy()
+        drive(policy, [1, 2], capacity=2)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(3, exclude=frozenset({1, 2}))
+
+    def test_empty_raises(self):
+        with pytest.raises(NoEvictableFrameError):
+            LRUPolicy().choose_victim(1)
+
+
+class TestProtocolErrors:
+    def test_hit_on_nonresident_rejected(self):
+        with pytest.raises(PolicyError):
+            LRUPolicy().on_hit(1, 1)
+
+    def test_double_admit_rejected(self):
+        policy = LRUPolicy()
+        policy.on_admit(1, 1)
+        with pytest.raises(PolicyError):
+            policy.on_admit(1, 2)
+
+    def test_evict_nonresident_rejected(self):
+        with pytest.raises(PolicyError):
+            LRUPolicy().on_evict(1, 1)
+
+    def test_reset_empties_policy(self):
+        policy = LRUPolicy()
+        drive(policy, [1, 2, 3], capacity=2)
+        policy.reset()
+        assert len(policy) == 0
+        assert policy.recency_order() == []
+
+
+class TestHitAccounting:
+    def test_hit_ratio_counts(self):
+        simulator = drive(LRUPolicy(), [1, 2, 1, 2, 3], capacity=2)
+        assert simulator.counter.hits == 2
+        assert simulator.counter.misses == 3
+        assert simulator.hit_ratio == pytest.approx(2 / 5)
+
+    def test_start_measurement_resets_window(self):
+        simulator = CacheSimulator(LRUPolicy(), capacity=2)
+        simulator.access(1)
+        simulator.access(1)
+        simulator.start_measurement()
+        simulator.access(1)
+        assert simulator.counter.total == 1
+        assert simulator.hit_ratio == 1.0
+        assert simulator.warmup_counter.total == 2

@@ -1,0 +1,98 @@
+"""Tests for the DBA-tuned multi-pool baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoEvictableFrameError, PolicyError
+from repro.policies import MultiPoolPolicy
+from repro.sim import CacheSimulator
+
+
+def two_domains(hot_quota: int, cold_quota: int) -> MultiPoolPolicy:
+    return MultiPoolPolicy(domain_of=lambda page: 1 if page < 100 else 2,
+                           quotas={1: hot_quota, 2: cold_quota})
+
+
+class TestConstruction:
+    def test_rejects_empty_quotas(self):
+        with pytest.raises(ConfigurationError):
+            MultiPoolPolicy(domain_of=lambda p: 1, quotas={})
+
+    def test_rejects_negative_quotas(self):
+        with pytest.raises(ConfigurationError):
+            MultiPoolPolicy(domain_of=lambda p: 1, quotas={1: -1})
+
+    def test_unknown_domain_rejected_at_use(self):
+        policy = MultiPoolPolicy(domain_of=lambda p: 99, quotas={1: 4})
+        with pytest.raises(PolicyError):
+            policy.on_admit(1, 1)
+
+
+class TestDomainSeparation:
+    def test_cold_pages_cannot_displace_hot_pages(self):
+        # Hot quota 3, cold quota 1; the cold parade must churn its own
+        # single slot and leave the hot pages alone — Reiter's Domain
+        # Separation behaviour.
+        policy = two_domains(hot_quota=3, cold_quota=1)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [0, 1, 2]:            # hot pool fills its quota
+            simulator.access(page)
+        for page in range(100, 130):      # cold parade
+            simulator.access(page)
+        assert {0, 1, 2} <= simulator.resident_pages
+
+    def test_home_domain_pays_for_its_own_growth(self):
+        policy = two_domains(hot_quota=2, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [0, 1, 100, 101]:
+            simulator.access(page)
+        outcome = simulator.access(2)     # hot domain over quota
+        assert outcome.evicted == 0       # hot domain's own LRU
+
+    def test_over_quota_domain_charged_first(self):
+        policy = two_domains(hot_quota=2, cold_quota=1)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in [100, 101, 0]:        # cold is over quota (2 > 1)
+            simulator.access(page)
+        outcome = simulator.access(1)     # hot newcomer, hot under quota
+        assert outcome.evicted == 100     # most over-quota domain pays
+
+    def test_per_domain_lru_order(self):
+        policy = two_domains(hot_quota=2, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [0, 1, 100, 101, 0]:  # 0 refreshed
+            simulator.access(page)
+        outcome = simulator.access(2)
+        assert outcome.evicted == 1       # LRU within the hot domain
+
+    def test_occupancy_tracking(self):
+        policy = two_domains(hot_quota=2, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [0, 1, 100]:
+            simulator.access(page)
+        assert policy.occupancy(1) == 2
+        assert policy.occupancy(2) == 1
+
+    def test_exclusions(self):
+        policy = two_domains(hot_quota=1, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=3)
+        for page in [0, 100, 101]:
+            simulator.access(page)
+        victim = policy.choose_victim(4, incoming=102,
+                                      exclude=frozenset({100}))
+        assert victim == 101
+
+    def test_all_excluded_raises(self):
+        policy = two_domains(hot_quota=1, cold_quota=1)
+        simulator = CacheSimulator(policy, capacity=2)
+        simulator.access(0)
+        simulator.access(100)
+        with pytest.raises(NoEvictableFrameError):
+            policy.choose_victim(3, exclude=frozenset({0, 100}))
+
+    def test_reset(self):
+        policy = two_domains(hot_quota=1, cold_quota=1)
+        simulator = CacheSimulator(policy, capacity=2)
+        simulator.access(0)
+        policy.reset()
+        assert len(policy) == 0
+        assert policy.occupancy(1) == 0

@@ -1,0 +1,46 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.core import LRUKPolicy
+from repro.errors import ConfigurationError
+from repro.policies import available_policies, make_policy
+from repro.policies.base import register_policy_factory
+
+
+class TestRegistry:
+    def test_all_expected_names_registered(self):
+        names = set(available_policies())
+        expected = {"lru", "fifo", "mru", "random", "clock", "gclock",
+                    "lfu", "lfu-aged", "lrd-v1", "lrd-v2", "working-set",
+                    "a0", "opt", "2q", "arc", "lru-k", "lru-2", "lru-3"}
+        assert expected <= names
+
+    def test_make_policy_constructs(self):
+        policy = make_policy("lru")
+        assert type(policy).__name__ == "LRUPolicy"
+
+    def test_make_policy_passes_kwargs(self):
+        policy = make_policy("lru-k", k=3, correlated_reference_period=7)
+        assert isinstance(policy, LRUKPolicy)
+        assert policy.k == 3
+        assert policy.crp == 7
+
+    def test_lru2_and_lru3_shorthands(self):
+        assert make_policy("lru-2").k == 2
+        assert make_policy("lru-3").k == 3
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_policy("lru-9000")
+        assert "lru" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_policy_factory("lru", lambda: None)
+
+    def test_capacity_policies_need_capacity(self):
+        with pytest.raises(TypeError):
+            make_policy("2q")
+        policy = make_policy("2q", capacity=16)
+        assert policy.capacity == 16

@@ -1,0 +1,128 @@
+"""Tests for the lineage policies 2Q and ARC."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import ARCPolicy, LRUPolicy, TwoQPolicy
+from repro.sim import CacheSimulator
+
+from ..conftest import drive, hit_ratio
+
+
+class TestTwoQ:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=0)
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=10, kin_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=10, kout_fraction=0.0)
+
+    def test_once_referenced_pages_stay_out_of_hot_queue(self):
+        policy = TwoQPolicy(capacity=8)
+        drive(policy, [1, 2, 3], capacity=8)
+        assert policy.hot_pages == frozenset()
+
+    def test_ghost_hit_promotes_to_hot_queue(self):
+        policy = TwoQPolicy(capacity=4, kin_fraction=0.25)
+        simulator = CacheSimulator(policy, capacity=4)
+        # Fill A1in (size 1) and push 1 out into A1out, then re-reference.
+        for page in [1, 2, 3, 4, 5]:
+            simulator.access(page)
+        assert 1 in policy.ghost_pages or not simulator.is_resident(1)
+        if not simulator.is_resident(1):
+            simulator.access(1)
+            assert 1 in policy.hot_pages
+
+    def test_a1in_hit_does_not_promote(self):
+        policy = TwoQPolicy(capacity=8, kin_fraction=0.5)
+        simulator = CacheSimulator(policy, capacity=8)
+        simulator.access(1)
+        simulator.access(1)  # burst hit inside A1in
+        assert 1 not in policy.hot_pages
+
+    def test_scan_resistant_versus_lru(self):
+        """2Q's selling point: one sequential scan doesn't flush hot pages."""
+        from repro.stats import SeededRng
+        rng = SeededRng(3)
+        hot = [rng.randrange(8) for _ in range(3000)]
+        scan = list(range(100, 400))
+        trace = hot[:1500] + scan + hot[1500:]
+        two_q = hit_ratio(TwoQPolicy(capacity=16), trace, 16, warmup=500)
+        lru = hit_ratio(LRUPolicy(), trace, 16, warmup=500)
+        assert two_q >= lru
+
+    def test_ghost_queue_is_bounded(self):
+        policy = TwoQPolicy(capacity=4, kout_fraction=0.5)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in range(200):
+            simulator.access(page)
+        assert len(policy.ghost_pages) <= policy.kout
+
+
+class TestARC:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ARCPolicy(capacity=0)
+
+    def test_hit_moves_page_to_frequency_list(self):
+        policy = ARCPolicy(capacity=4)
+        simulator = CacheSimulator(policy, capacity=4)
+        simulator.access(1)
+        assert 1 in policy.recency_pages
+        simulator.access(1)
+        assert 1 in policy.frequency_pages
+
+    def test_ghost_hit_in_b1_grows_p(self):
+        # A ghost can only persist while |T1|+|B1| < c, i.e. after a
+        # promotion into T2 shrank T1 (canonical ARC trims B1 otherwise).
+        policy = ARCPolicy(capacity=2)
+        simulator = CacheSimulator(policy, capacity=2)
+        for page in [1, 1, 2, 3]:  # 1 promoted to T2; 2 evicted into B1
+            simulator.access(page)
+        assert 2 in policy._b1
+        before = policy.target_t1
+        simulator.access(2)        # B1 ghost hit
+        assert policy.target_t1 > before
+
+    def test_ghost_hit_admits_into_t2(self):
+        policy = ARCPolicy(capacity=2)
+        simulator = CacheSimulator(policy, capacity=2)
+        for page in [1, 1, 2, 3, 2]:
+            simulator.access(page)
+        assert 2 in policy.frequency_pages
+
+    def test_ghost_lists_bounded(self):
+        policy = ARCPolicy(capacity=8)
+        simulator = CacheSimulator(policy, capacity=8)
+        for page in range(500):
+            simulator.access(page % 60)
+        assert len(policy._b1) <= policy.capacity
+        assert len(policy._b1) + len(policy._b2) <= 2 * policy.capacity
+
+    def test_residency_is_t1_union_t2(self):
+        policy = ARCPolicy(capacity=6)
+        simulator = CacheSimulator(policy, capacity=6)
+        for page in [1, 2, 3, 1, 4, 5, 2, 6, 7, 1, 8]:
+            simulator.access(page)
+            assert (policy.recency_pages | policy.frequency_pages
+                    == simulator.resident_pages)
+
+    def test_scan_resistance_versus_lru(self):
+        from repro.stats import SeededRng
+        rng = SeededRng(4)
+        hot = [rng.randrange(8) for _ in range(3000)]
+        scan = list(range(100, 400))
+        trace = hot[:1500] + scan + hot[1500:]
+        arc = hit_ratio(ARCPolicy(capacity=16), trace, 16, warmup=500)
+        lru = hit_ratio(LRUPolicy(), trace, 16, warmup=500)
+        assert arc >= lru
+
+    def test_adaptation_p_stays_in_range(self):
+        policy = ARCPolicy(capacity=5)
+        simulator = CacheSimulator(policy, capacity=5)
+        from repro.stats import SeededRng
+        rng = SeededRng(8)
+        for _ in range(2000):
+            simulator.access(rng.randrange(25))
+            assert 0.0 <= policy.target_t1 <= policy.capacity

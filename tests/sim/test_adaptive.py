@@ -1,0 +1,117 @@
+"""Tests for the dynamic frame/history-block exchange (paper Section 5)."""
+
+import pytest
+
+from repro.core import LRUKPolicy
+from repro.errors import ConfigurationError
+from repro.policies import LRUPolicy
+from repro.sim import AdaptiveCacheSimulator, CacheSimulator
+from repro.workloads import MovingHotspotWorkload, TwoPoolWorkload
+
+
+def make(budget=120.0, **kwargs):
+    policy = LRUKPolicy(k=2,
+                        retained_information_period=kwargs.pop("rip", 2000))
+    return AdaptiveCacheSimulator(policy, memory_budget=budget, **kwargs)
+
+
+class TestConstruction:
+    def test_requires_lruk(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCacheSimulator(LRUPolicy(), memory_budget=100)
+
+    def test_rejects_bad_parameters(self):
+        policy = LRUKPolicy(k=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveCacheSimulator(policy, memory_budget=1, min_frames=5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveCacheSimulator(policy, memory_budget=100, block_cost=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveCacheSimulator(policy, memory_budget=100,
+                                   max_history_fraction=1.0)
+
+    def test_guardrail_bounds_history(self):
+        simulator = make(budget=100.0, block_cost=0.01,
+                         max_history_fraction=0.4)
+        assert simulator.policy.max_history_blocks == 4000
+
+
+class TestExchange:
+    def test_history_growth_releases_frames(self):
+        simulator = make(budget=100.0, block_cost=0.05,
+                         adjust_interval=16)
+        workload = TwoPoolWorkload(n1=50, n2=5000)
+        for reference in workload.references(6000, seed=1):
+            simulator.access(reference)
+        # Thousands of history blocks at 0.05 frames each must have
+        # shrunk the frame count visibly below the initial 100.
+        assert simulator.capacity < 100
+        assert simulator.adjustments > 0
+        assert simulator.min_capacity_seen < 100
+
+    def test_purges_turn_history_back_into_frames(self):
+        # A tiny RIP purges blocks aggressively; after a cold burst the
+        # frame count recovers.
+        simulator = make(budget=80.0, block_cost=0.05, rip=200,
+                         adjust_interval=16)
+        workload = TwoPoolWorkload(n1=20, n2=4000)
+        for reference in workload.references(3000, seed=2):
+            simulator.access(reference)
+        low_point = simulator.min_capacity_seen
+        # Drive a quiet phase (few new pages) so purges dominate.
+        for _ in range(3000):
+            simulator.access(1)
+        simulator.policy.history.purge(
+            simulator.now, simulator.policy._resident.__contains__)
+        simulator.rebalance()
+        assert simulator.capacity >= low_point
+
+    def test_budget_respected_at_every_rebalance(self):
+        simulator = make(budget=60.0, block_cost=0.02, adjust_interval=32)
+        workload = TwoPoolWorkload(n1=30, n2=2000)
+        for index, reference in enumerate(workload.references(4000, seed=3)):
+            simulator.access(reference)
+            if index % 256 == 0:
+                simulator.assert_within_budget()
+
+    def test_min_frames_floor_holds(self):
+        simulator = make(budget=20.0, block_cost=0.5, min_frames=5,
+                         max_history_fraction=0.9, adjust_interval=8)
+        workload = TwoPoolWorkload(n1=10, n2=1000)
+        for reference in workload.references(2000, seed=4):
+            simulator.access(reference)
+        assert simulator.capacity >= 5
+
+    def test_shrinking_evicts_policy_victims(self):
+        simulator = make(budget=50.0, adjust_interval=10 ** 9)
+        for page in range(40):
+            simulator.access(page)
+        resident_before = len(simulator.resident_pages)
+        simulator.set_capacity(10)
+        assert len(simulator.resident_pages) == 10
+        assert resident_before == 40
+
+
+class TestEndToEndBenefit:
+    def test_adaptive_beats_historyless_baseline_at_same_budget(self):
+        """The point of the Section 5 idea: spending a slice of the
+        budget on history beats spending everything on frames, on a
+        workload where recognition requires retained information."""
+        budget = 100.0
+        workload = MovingHotspotWorkload(db_pages=50_000, hot_pages=60,
+                                         hot_fraction=0.1,
+                                         epoch_length=8_000)
+        references = list(workload.references(24_000, seed=5))
+
+        adaptive = AdaptiveCacheSimulator(
+            LRUKPolicy(k=2, retained_information_period=1500),
+            memory_budget=budget, block_cost=0.02,
+            max_history_fraction=0.5, adjust_interval=32)
+        baseline = CacheSimulator(LRUPolicy(), capacity=int(budget))
+        for index, reference in enumerate(references):
+            if index == 8_000:
+                adaptive.start_measurement()
+                baseline.start_measurement()
+            adaptive.access(reference)
+            baseline.access(reference)
+        assert adaptive.hit_ratio > baseline.hit_ratio

@@ -1,0 +1,68 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import ascii_chart, chart_experiment
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart([10, 20, 30], {"LRU": [0.1, 0.5, 0.9]},
+                            width=30, height=8)
+        assert "o" in chart
+        assert "o=LRU" in chart
+        assert "B: 10 .. 30" in chart
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = ascii_chart([1, 2], {"a": [0.1, 0.2], "b": [0.8, 0.9]},
+                            width=20, height=6)
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_extremes_at_grid_edges(self):
+        chart = ascii_chart([0, 100], {"s": [0.0, 1.0]},
+                            width=20, height=5, y_min=0.0, y_max=1.0)
+        lines = chart.splitlines()
+        assert lines[0].lstrip().startswith("1.000")   # top margin label
+        assert lines[4].lstrip().startswith("0.000")   # bottom margin
+        assert lines[0].rstrip().endswith("o")          # max point top-right
+        assert lines[4].replace("|", " ").strip().startswith("0.000 o"[0:1]) or "o" in lines[4]
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {"s": [0.5]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {})
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {"s": [0.5]}, width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [0.5, 0.5, 0.5]},
+                            width=15, height=5)
+        assert "flat" in chart
+
+    def test_values_clamped_into_range(self):
+        chart = ascii_chart([1, 2], {"s": [5.0, -3.0]},
+                            width=15, height=5, y_min=0.0, y_max=1.0)
+        assert "s" in chart  # no exception; points land on the borders
+
+
+class TestChartExperiment:
+    def test_chart_from_experiment_result(self):
+        from repro.experiments import table_4_1_spec
+        from repro.sim import run_experiment
+        spec = table_4_1_spec(scale=0.3, capacities=[60, 120],
+                              repetitions=1, include_lru3=False,
+                              include_equi_effective=False)
+        result = run_experiment(spec)
+        chart = chart_experiment(result, width=40, height=8)
+        assert "LRU-1" in chart
+        assert "LRU-2" in chart
+        assert "B: 60 .. 120" in chart

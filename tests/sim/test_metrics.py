@@ -1,0 +1,67 @@
+"""Tests for the detailed metrics collector."""
+
+import pytest
+
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator, MetricsCollector
+
+
+def collect(trace, capacity):
+    simulator = CacheSimulator(LRUPolicy(), capacity)
+    collector = MetricsCollector()
+    for page in trace:
+        collector.record(simulator.access(page))
+    return collector
+
+
+class TestMissBreakdown:
+    def test_all_first_touches_are_compulsory(self):
+        collector = collect([1, 2, 3, 4], capacity=10)
+        assert collector.misses.compulsory == 4
+        assert collector.misses.capacity == 0
+        assert collector.misses.capacity_fraction() == 0.0
+
+    def test_re_miss_after_eviction_is_capacity(self):
+        # 1 evicted by 2,3 then referenced again.
+        collector = collect([1, 2, 3, 1], capacity=2)
+        assert collector.misses.compulsory == 3
+        assert collector.misses.capacity == 1
+
+    def test_hits_counted(self):
+        collector = collect([1, 1, 1], capacity=2)
+        assert collector.hits == 2
+        assert collector.hit_ratio == pytest.approx(2 / 3)
+
+    def test_capacity_fraction_of_cyclic_scan(self):
+        # After the first lap, every miss is a capacity miss.
+        collector = collect([0, 1, 2, 3] * 10, capacity=3)
+        assert collector.misses.compulsory == 4
+        assert collector.misses.capacity == 36
+        assert collector.misses.capacity_fraction() == pytest.approx(0.9)
+
+
+class TestResidencyAndAge:
+    def test_residency_duration_measured(self):
+        # 1 admitted at t=1, evicted at t=4 -> residency 3.
+        collector = collect([1, 2, 3, 4], capacity=3)
+        assert collector.residency.count == 1
+        assert collector.residency.mean == pytest.approx(3.0)
+
+    def test_eviction_age_uses_last_reference(self):
+        # 1 admitted t=1, hit t=2, evicted t=5 -> age 3, residency 4.
+        collector = collect([1, 1, 2, 3, 4], capacity=3)
+        assert collector.eviction_age.mean == pytest.approx(3.0)
+        assert collector.residency.mean == pytest.approx(4.0)
+
+    def test_summary_keys(self):
+        collector = collect([1, 2, 1, 3], capacity=2)
+        summary = collector.summary()
+        assert summary["references"] == 4.0
+        assert 0.0 <= summary["hit_ratio"] <= 1.0
+        assert "mean_residency" in summary
+        assert "capacity_miss_fraction" in summary
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.hit_ratio == 0.0
+        assert collector.summary()["references"] == 0.0

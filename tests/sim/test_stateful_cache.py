@@ -1,0 +1,62 @@
+"""Stateful property test: CacheSimulator + LRU against a textbook model."""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator
+
+CAPACITY = 4
+
+
+class LruCacheMachine(RuleBasedStateMachine):
+    """The simulator must track a five-line OrderedDict LRU oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.simulator = CacheSimulator(LRUPolicy(), CAPACITY)
+        self.model = OrderedDict()
+        self.model_hits = 0
+        self.model_misses = 0
+
+    @rule(page=st.integers(min_value=0, max_value=9))
+    def access(self, page):
+        outcome = self.simulator.access(page)
+        if page in self.model:
+            self.model.move_to_end(page)
+            self.model_hits += 1
+            assert outcome.hit
+            assert outcome.evicted is None
+        else:
+            self.model_misses += 1
+            assert not outcome.hit
+            if len(self.model) >= CAPACITY:
+                victim, _ = self.model.popitem(last=False)
+                assert outcome.evicted == victim
+            else:
+                assert outcome.evicted is None
+            self.model[page] = None
+
+    @rule()
+    def shrink_then_grow(self):
+        # Dynamic resizing must evict in LRU order too.
+        if len(self.model) <= 1:
+            return
+        self.simulator.set_capacity(len(self.model) - 1)
+        victim = next(iter(self.model))
+        del self.model[victim]
+        self.simulator.set_capacity(CAPACITY)
+
+    @invariant()
+    def state_matches(self):
+        assert self.simulator.resident_pages == set(self.model)
+        assert self.simulator.counter.hits == self.model_hits
+        assert self.simulator.counter.misses == self.model_misses
+
+
+TestLruCacheStateful = LruCacheMachine.TestCase
+TestLruCacheStateful.settings = settings(
+    max_examples=50, stateful_step_count=60, deadline=None)

@@ -1,0 +1,162 @@
+"""Tests for histograms, confidence intervals, and sampling helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats import (
+    ConfidenceInterval,
+    Histogram,
+    IntervalHistogram,
+    ReservoirSampler,
+    SeededRng,
+    mean_confidence_interval,
+    spawn_rngs,
+)
+from repro.stats.sampling import derive_seed
+
+
+class TestHistogram:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(low=1.0, high=1.0, bins=4)
+        with pytest.raises(ConfigurationError):
+            Histogram(low=0.0, high=1.0, bins=0)
+
+    def test_counts_land_in_right_bins(self):
+        histogram = Histogram(low=0.0, high=10.0, bins=10)
+        for value in [0.5, 1.5, 1.7, 9.9]:
+            histogram.add(value)
+        counts = histogram.counts
+        assert counts[0] == 1
+        assert counts[1] == 2
+        assert counts[9] == 1
+
+    def test_out_of_range_clamped(self):
+        histogram = Histogram(low=0.0, high=1.0, bins=2)
+        histogram.add(-5.0)
+        histogram.add(99.0)
+        assert histogram.counts == [1, 1]
+        assert histogram.total == 2
+
+    def test_quantile_interpolation(self):
+        histogram = Histogram(low=0.0, high=100.0, bins=100)
+        for value in range(100):
+            histogram.add(value + 0.5)
+        assert histogram.quantile(0.5) == pytest.approx(50.0, abs=1.5)
+        assert histogram.quantile(0.9) == pytest.approx(90.0, abs=1.5)
+
+    def test_bin_edges(self):
+        histogram = Histogram(low=0.0, high=4.0, bins=4)
+        assert histogram.bin_edges() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestIntervalHistogram:
+    def test_zero_intervals_counted_separately(self):
+        histogram = IntervalHistogram()
+        histogram.add(0)
+        histogram.add(0)
+        histogram.add(5)
+        assert histogram.zero_count == 2
+        assert histogram.total == 3
+
+    def test_geometric_buckets(self):
+        histogram = IntervalHistogram()
+        for interval in [1, 2, 3, 4, 7, 8, 100]:
+            histogram.add(interval)
+        buckets = dict((low, count)
+                       for low, high, count in histogram.buckets())
+        assert buckets[1] == 1        # [1,1]
+        assert buckets[2] == 2        # [2,3]
+        assert buckets[4] == 2        # [4,7]
+        assert buckets[8] == 1        # [8,15]
+        assert buckets[64] == 1       # [64,127]
+
+    def test_fraction_at_most_is_conservative(self):
+        histogram = IntervalHistogram()
+        for interval in [1, 2, 4, 1000]:
+            histogram.add(interval)
+        assert histogram.fraction_at_most(7) == pytest.approx(3 / 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            IntervalHistogram().add(-1)
+
+    def test_mean_approximation(self):
+        histogram = IntervalHistogram()
+        for _ in range(100):
+            histogram.add(16)
+        assert histogram.mean() == pytest.approx(16.0, rel=0.4)
+
+
+class TestConfidence:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+
+    def test_single_observation_zero_width(self):
+        interval = mean_confidence_interval([0.4])
+        assert interval.mean == 0.4
+        assert interval.half_width == 0.0
+
+    def test_identical_observations_zero_width(self):
+        interval = mean_confidence_interval([0.3] * 5)
+        assert interval.half_width == pytest.approx(0.0)
+
+    def test_known_t_interval(self):
+        # n=4, mean 2.5, sample sd sqrt(5/3); t(3)=3.182.
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        expected_half = 3.182 * (5 / 3) ** 0.5 / 2.0
+        assert interval.half_width == pytest.approx(expected_half, rel=1e-3)
+
+    def test_contains_and_overlaps(self):
+        a = ConfidenceInterval(mean=0.5, half_width=0.1, count=3)
+        b = ConfidenceInterval(mean=0.65, half_width=0.1, count=3)
+        assert a.contains(0.45)
+        assert not a.contains(0.7)
+        assert a.overlaps(b)
+        assert not a.overlaps(
+            ConfidenceInterval(mean=0.9, half_width=0.05, count=3))
+
+    def test_more_data_narrows_interval(self):
+        wide = mean_confidence_interval([0.1, 0.5, 0.9])
+        narrow = mean_confidence_interval([0.1, 0.5, 0.9] * 10)
+        assert narrow.half_width < wide.half_width
+
+
+class TestSampling:
+    def test_spawn_rngs_independent_and_deterministic(self):
+        first = [rng.random() for rng in spawn_rngs(42, 3)]
+        second = [rng.random() for rng in spawn_rngs(42, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, 2) == derive_seed(1, 2)
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            spawn_rngs(0, -1)
+
+    def test_reservoir_keeps_everything_under_capacity(self):
+        sampler = ReservoirSampler(capacity=10, rng=SeededRng(1))
+        sampler.extend(range(5))
+        assert sorted(sampler.sample) == [0, 1, 2, 3, 4]
+
+    def test_reservoir_bounded(self):
+        sampler = ReservoirSampler(capacity=10, rng=SeededRng(1))
+        sampler.extend(range(1000))
+        assert len(sampler.sample) == 10
+        assert sampler.seen == 1000
+
+    @given(seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_reservoir_is_roughly_uniform(self, seed):
+        # Sample 50 of 500; the mean sampled value should be near 250.
+        sampler = ReservoirSampler(capacity=50, rng=SeededRng(seed))
+        sampler.extend(range(500))
+        mean = sum(sampler.sample) / 50
+        assert 130 < mean < 370

@@ -1,0 +1,98 @@
+"""Tests for streaming statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import StreamingMinMax, StreamingMoments
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestStreamingMoments:
+    def test_empty_defaults(self):
+        moments = StreamingMoments()
+        assert moments.count == 0
+        assert moments.mean == 0.0
+        assert moments.variance == 0.0
+        assert moments.stderr == 0.0
+
+    def test_single_value(self):
+        moments = StreamingMoments()
+        moments.add(5.0)
+        assert moments.mean == 5.0
+        assert moments.variance == 0.0
+
+    def test_known_values(self):
+        moments = StreamingMoments()
+        moments.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert moments.mean == pytest.approx(5.0)
+        assert moments.variance == pytest.approx(32.0 / 7.0)
+
+    @given(values=st.lists(floats, min_size=2, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_two_pass_computation(self, values):
+        moments = StreamingMoments()
+        moments.extend(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert moments.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert moments.variance == pytest.approx(variance, rel=1e-6, abs=1e-6)
+
+    @given(left=st.lists(floats, min_size=1, max_size=50),
+           right=st.lists(floats, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        a = StreamingMoments()
+        a.extend(left)
+        b = StreamingMoments()
+        b.extend(right)
+        merged = a.merge(b)
+        combined = StreamingMoments()
+        combined.extend(left + right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean,
+                                            rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance,
+                                                rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        a = StreamingMoments()
+        a.extend([1.0, 2.0])
+        merged = a.merge(StreamingMoments())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    def test_stddev_is_sqrt_variance(self):
+        moments = StreamingMoments()
+        moments.extend([1.0, 3.0])
+        assert moments.stddev == pytest.approx(math.sqrt(moments.variance))
+
+
+class TestStreamingMinMax:
+    def test_empty(self):
+        extremes = StreamingMinMax()
+        assert extremes.minimum is None
+        assert extremes.maximum is None
+        assert extremes.span == 0.0
+
+    def test_tracks_extremes(self):
+        extremes = StreamingMinMax()
+        for value in [3.0, -1.0, 7.0, 2.0]:
+            extremes.add(value)
+        assert extremes.minimum == -1.0
+        assert extremes.maximum == 7.0
+        assert extremes.span == 8.0
+        assert extremes.count == 4
+
+    @given(values=st.lists(floats, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_builtin_min_max(self, values):
+        extremes = StreamingMinMax()
+        for value in values:
+            extremes.add(value)
+        assert extremes.minimum == min(values)
+        assert extremes.maximum == max(values)

@@ -1,0 +1,83 @@
+"""Fault-injection tests: corruption detection end to end."""
+
+import pytest
+
+from repro.buffer import BufferPool
+from repro.db import build_customer_database
+from repro.errors import ConfigurationError, StorageError
+from repro.policies import LRUPolicy
+from repro.storage import SimulatedDisk
+
+
+class TestDiskCorruption:
+    def test_corrupted_payload_detected_on_read(self):
+        disk = SimulatedDisk()
+        from repro.storage import DiskPage
+        page_id = disk.allocate()
+        disk.write(DiskPage(page_id=page_id, payload=b"x" * 500))
+        disk.corrupt(page_id, byte_index=100)
+        with pytest.raises(StorageError):
+            disk.read(page_id)
+
+    def test_corruption_in_padding_is_harmless(self):
+        # Bytes beyond the payload are zero padding not covered by the
+        # checksum; flipping them changes nothing observable.
+        disk = SimulatedDisk()
+        from repro.storage import DiskPage
+        page_id = disk.allocate()
+        disk.write(DiskPage(page_id=page_id, payload=b"short"))
+        disk.corrupt(page_id, byte_index=4000)
+        assert disk.read(page_id).payload == b"short"
+
+    def test_bad_byte_index_rejected(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        with pytest.raises(ConfigurationError):
+            disk.corrupt(page_id, byte_index=99_999)
+
+    def test_rewrite_heals_corruption(self):
+        disk = SimulatedDisk()
+        from repro.storage import DiskPage
+        page_id = disk.allocate()
+        disk.write(DiskPage(page_id=page_id, payload=b"data"))
+        disk.corrupt(page_id, byte_index=30)
+        disk.write(DiskPage(page_id=page_id, payload=b"fresh"))
+        assert disk.read(page_id).payload == b"fresh"
+
+
+class TestCorruptionThroughTheStack:
+    def test_buffer_pool_surfaces_storage_error(self):
+        disk = SimulatedDisk()
+        from repro.storage import DiskPage
+        page_id = disk.allocate()
+        disk.write(DiskPage(page_id=page_id, payload=b"y" * 200))
+        disk.corrupt(page_id, byte_index=50)
+        pool = BufferPool(disk, LRUPolicy(), capacity=4)
+        with pytest.raises(StorageError):
+            pool.fetch(page_id)
+
+    def test_resident_copy_shields_until_eviction(self):
+        # Corruption on disk is invisible while the clean page is
+        # resident; it surfaces on the re-read after eviction.
+        disk = SimulatedDisk()
+        disk.allocate_many(4)
+        pool = BufferPool(disk, LRUPolicy(), capacity=2)
+        pool.fetch(0, pin=False)
+        disk.corrupt(0, byte_index=20)
+        pool.fetch(0, pin=False)           # hit: no disk read, no error
+        pool.fetch(1, pin=False)
+        pool.fetch(2, pin=False)           # evicts 0 (clean, no write-back)
+        with pytest.raises(StorageError):
+            pool.fetch(0)
+
+    def test_database_lookup_detects_corrupt_record_page(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, LRUPolicy(), capacity=256)
+        database = build_customer_database(pool, customers=200)
+        pool.flush_all()
+        victim_page = database.record_pages()[3]
+        pool.evict_page(victim_page)
+        disk.corrupt(victim_page, byte_index=500)
+        # Customers 6 and 7 live on record page index 3 (2 per page).
+        with pytest.raises(StorageError):
+            database.lookup(6)

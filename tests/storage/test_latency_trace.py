@@ -1,0 +1,126 @@
+"""Tests for the disk timing model and trace file I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.storage import DiskQueue, DiskServiceModel, read_trace, write_trace
+from repro.storage.trace_io import trace_round_trip
+from repro.types import AccessKind, Reference
+
+
+class TestServiceModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DiskServiceModel(average_seek_ms=0)
+        with pytest.raises(ConfigurationError):
+            DiskServiceModel(cylinders=0)
+
+    def test_same_cylinder_has_no_seek(self):
+        model = DiskServiceModel(pages_per_cylinder=100)
+        assert model.seek_ms(5, 7) == 0.0
+
+    def test_longer_seeks_cost_more(self):
+        model = DiskServiceModel(pages_per_cylinder=1)
+        near = model.seek_ms(0, 10)
+        far = model.seek_ms(0, 500)
+        assert 0 < near < far
+
+    def test_unknown_position_charges_average(self):
+        model = DiskServiceModel()
+        assert model.seek_ms(None, 100) == model.average_seek_ms
+
+    def test_service_includes_rotation_and_transfer(self):
+        model = DiskServiceModel()
+        service = model.service_ms(None, 0)
+        assert service > model.average_seek_ms + model.rotation_ms / 2
+
+    def test_sequential_cheaper_than_random(self):
+        model = DiskServiceModel()
+        sequential = model.service_ms(100, 101)
+        random_jump = model.service_ms(100, 10 ** 6)
+        assert sequential < random_jump
+
+
+class TestDiskQueue:
+    def test_idle_server_no_wait(self):
+        queue = DiskQueue()
+        response = queue.submit(0, arrival_ms=0.0)
+        assert response > 0
+        assert queue.wait_ms.mean == 0.0
+
+    def test_back_to_back_requests_queue_up(self):
+        queue = DiskQueue()
+        queue.submit(0, arrival_ms=0.0)
+        queue.submit(10 ** 6, arrival_ms=0.0)   # arrives while busy
+        assert queue.wait_ms.count == 2
+        assert queue.wait_ms.mean > 0.0         # the second request waited
+        assert queue.response_ms.mean > queue.wait_ms.mean
+
+    def test_queue_depth_grows_under_overload(self):
+        queue = DiskQueue()
+        for request in range(50):
+            queue.submit(request * 10 ** 5, arrival_ms=float(request))
+        assert queue.depth_at_arrival.mean > 1.0
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ConfigurationError):
+            DiskQueue().submit(0, arrival_ms=-1.0)
+
+    def test_spaced_arrivals_do_not_queue(self):
+        queue = DiskQueue()
+        for request in range(10):
+            queue.submit(0, arrival_ms=request * 10_000.0)
+        assert queue.wait_ms.mean == 0.0
+
+
+class TestTraceIO:
+    def test_roundtrip_plain_pages(self):
+        refs = [Reference(page=p) for p in [1, 5, 3, 1]]
+        assert trace_round_trip(refs) == refs
+
+    def test_roundtrip_full_metadata(self):
+        refs = [
+            Reference(page=1, kind=AccessKind.WRITE, process_id=2, txn_id=9),
+            Reference(page=2, kind=AccessKind.READ, process_id=0),
+            Reference(page=3),
+        ]
+        assert trace_round_trip(refs) == refs
+
+    def test_comment_preserved_as_noise(self):
+        buffer = io.StringIO()
+        write_trace(buffer, [Reference(page=1)], comment="hello\nworld")
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == [Reference(page=1)]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(read_trace(io.StringIO("not a trace\n1\n")))
+
+    def test_bad_page_id_rejected(self):
+        source = io.StringIO("#repro-trace v1\nabc\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(source))
+
+    def test_negative_page_rejected(self):
+        source = io.StringIO("#repro-trace v1\n-4\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(source))
+
+    def test_bad_kind_rejected(self):
+        source = io.StringIO("#repro-trace v1\n1 z\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(source))
+
+    def test_too_many_fields_rejected(self):
+        source = io.StringIO("#repro-trace v1\n1 r 2 3 4\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(source))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        refs = [Reference(page=p, kind=AccessKind.WRITE) for p in range(10)]
+        count = write_trace(path, refs, comment="unit test")
+        assert count == 10
+        assert list(read_trace(path)) == refs

@@ -1,0 +1,104 @@
+"""Tests for disk pages and the simulated disk."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    PageNotAllocatedError,
+    StorageError,
+)
+from repro.storage import PAGE_SIZE, DiskPage, SimulatedDisk
+from repro.storage.page import PAGE_PAYLOAD_SIZE
+
+
+class TestDiskPage:
+    def test_roundtrip(self):
+        page = DiskPage(page_id=7, payload=b"hello world", version=3)
+        recovered = DiskPage.from_bytes(page.to_bytes())
+        assert recovered.page_id == 7
+        assert recovered.payload == b"hello world"
+        assert recovered.version == 3
+
+    @given(payload=st.binary(max_size=PAGE_PAYLOAD_SIZE))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_payload(self, payload):
+        page = DiskPage(page_id=1, payload=payload)
+        assert DiskPage.from_bytes(page.to_bytes()).payload == payload
+
+    def test_serialized_size_is_page_size(self):
+        assert len(DiskPage(page_id=0).to_bytes()) == PAGE_SIZE
+
+    def test_payload_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskPage(page_id=0, payload=b"x" * (PAGE_PAYLOAD_SIZE + 1))
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskPage(page_id=-1)
+
+    def test_corruption_detected(self):
+        raw = bytearray(DiskPage(page_id=3, payload=b"payload").to_bytes())
+        raw[-1] ^= 0xFF  # flip a payload byte... tail is padding; flip data
+        raw[30] ^= 0xFF
+        with pytest.raises(StorageError):
+            DiskPage.from_bytes(bytes(raw))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(StorageError):
+            DiskPage.from_bytes(b"short")
+
+    def test_with_payload_bumps_version(self):
+        page = DiskPage(page_id=1, payload=b"a", version=5)
+        updated = page.with_payload(b"b")
+        assert updated.version == 6
+        assert updated.page_id == 1
+
+
+class TestSimulatedDisk:
+    def test_allocation_sequential_ids(self):
+        disk = SimulatedDisk()
+        assert disk.allocate() == 0
+        assert disk.allocate() == 1
+        assert disk.allocated_pages == 2
+
+    def test_allocate_many(self):
+        disk = SimulatedDisk()
+        ids = disk.allocate_many(5)
+        assert list(ids) == [0, 1, 2, 3, 4]
+
+    def test_capacity_enforced(self):
+        disk = SimulatedDisk(capacity_pages=2)
+        disk.allocate()
+        disk.allocate()
+        with pytest.raises(ConfigurationError):
+            disk.allocate()
+
+    def test_read_unallocated_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(PageNotAllocatedError):
+            disk.read(99)
+
+    def test_write_then_read(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        disk.write(DiskPage(page_id=page_id, payload=b"data", version=1))
+        assert disk.read(page_id).payload == b"data"
+
+    def test_io_statistics(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        disk.read(page_id)
+        disk.read(page_id)
+        disk.write(DiskPage(page_id=page_id))
+        assert disk.stats.reads == 2
+        assert disk.stats.writes == 1
+        assert disk.stats.total_ios == 3
+        disk.stats.reset()
+        assert disk.stats.total_ios == 0
+
+    def test_fresh_page_is_zeroed(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        assert disk.read(page_id).payload == b""

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_flags(self):
+        args = build_parser().parse_args(
+            ["table4.1", "--scale", "0.5", "--repetitions", "2",
+             "--quiet", "--compare"])
+        assert args.command == "table4.1"
+        assert args.scale == 0.5
+        assert args.repetitions == 2
+        assert args.quiet and args.compare
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4.1" in out
+        assert "k-sweep" in out
+
+    def test_unknown_ablation_fails_gracefully(self, capsys):
+        assert main(["ablation", "nope"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err
+
+    def test_table_41_quick_run(self, capsys):
+        code = main(["table4.1", "--scale", "0.2", "--repetitions", "1",
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 4.1" in out
+        assert "LRU-2" in out
+
+    def test_table_41_compare_mode(self, capsys):
+        code = main(["table4.1", "--scale", "0.2", "--repetitions", "1",
+                     "--quiet", "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace-stats", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Five Minute" in out
+
+    def test_ablation_runs(self, capsys):
+        assert main(["ablation", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "scale-invariance" in out

@@ -1,0 +1,13 @@
+"""CLI chart flag smoke test (separate file: it runs a real sweep)."""
+
+from repro.cli import main
+
+
+def test_table_chart_flag(capsys):
+    code = main(["table4.1", "--scale", "0.2", "--repetitions", "1",
+                 "--quiet", "--chart"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "o=LRU-1" in out
+    assert "x=LRU-2" in out
+    assert "hit ratio" in out

@@ -1,0 +1,133 @@
+"""Tests for core value types, clocks, and the error hierarchy."""
+
+import math
+
+import pytest
+
+from repro.clock import LogicalClock, ReferenceClock, is_unbounded
+from repro.errors import (
+    BufferError_,
+    ConfigurationError,
+    DatabaseError,
+    NoEvictableFrameError,
+    PageNotResidentError,
+    PolicyError,
+    ReproError,
+    StorageError,
+)
+from repro.types import (
+    AccessKind,
+    HitRatioCounter,
+    Reference,
+    as_reference,
+    reference_stream,
+)
+
+
+class TestReference:
+    def test_defaults(self):
+        ref = Reference(page=5)
+        assert ref.kind is AccessKind.READ
+        assert not ref.is_write
+        assert ref.process_id is None
+
+    def test_write_flag(self):
+        assert Reference(page=1, kind=AccessKind.WRITE).is_write
+
+    def test_frozen(self):
+        ref = Reference(page=1)
+        with pytest.raises(AttributeError):
+            ref.page = 2
+
+    def test_as_reference_coercion(self):
+        assert as_reference(7) == Reference(page=7)
+        ref = Reference(page=3, kind=AccessKind.WRITE)
+        assert as_reference(ref) is ref
+
+    def test_reference_stream(self):
+        mixed = [1, Reference(page=2, kind=AccessKind.WRITE), 3]
+        pages = [r.page for r in reference_stream(mixed)]
+        assert pages == [1, 2, 3]
+
+
+class TestHitRatioCounter:
+    def test_counts(self):
+        counter = HitRatioCounter()
+        for hit in (True, False, True, True):
+            counter.record(hit)
+        assert counter.hits == 3
+        assert counter.misses == 1
+        assert counter.hit_ratio == 0.75
+
+    def test_empty_ratio_zero(self):
+        assert HitRatioCounter().hit_ratio == 0.0
+
+    def test_reset_and_merge(self):
+        a = HitRatioCounter(hits=2, misses=1)
+        b = HitRatioCounter(hits=1, misses=2)
+        merged = a.merge(b)
+        assert merged.hits == 3
+        assert merged.misses == 3
+        a.reset()
+        assert a.total == 0
+
+
+class TestLogicalClock:
+    def test_tick_is_one_based(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.now == 2
+
+    def test_advance(self):
+        clock = LogicalClock()
+        clock.advance(10)
+        assert clock.now == 10
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ConfigurationError):
+            LogicalClock(start=-5)
+
+
+class TestReferenceClock:
+    def test_seconds_round_up_to_references(self):
+        clock = ReferenceClock(references_per_second=130.0)
+        assert clock.seconds_to_references(100.0) == 13_000
+        assert clock.seconds_to_references(0.001) == 1  # never zero
+
+    def test_roundtrip(self):
+        clock = ReferenceClock(references_per_second=100.0)
+        assert clock.references_to_seconds(
+            clock.seconds_to_references(42.0)) == pytest.approx(42.0)
+
+    def test_infinity_maps_to_unbounded(self):
+        clock = ReferenceClock()
+        assert is_unbounded(clock.seconds_to_references(math.inf))
+        assert not is_unbounded(clock.seconds_to_references(1000.0))
+
+    def test_invalid_rates_and_durations(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceClock(references_per_second=0.0)
+        clock = ReferenceClock()
+        with pytest.raises(ConfigurationError):
+            clock.seconds_to_references(-1.0)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for error_type in (ConfigurationError, PolicyError,
+                           NoEvictableFrameError, BufferError_,
+                           PageNotResidentError, StorageError,
+                           DatabaseError):
+            assert issubclass(error_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_page_not_resident_is_key_error(self):
+        assert issubclass(PageNotResidentError, KeyError)
+
+    def test_no_evictable_frame_is_policy_error(self):
+        assert issubclass(NoEvictableFrameError, PolicyError)

@@ -1,0 +1,92 @@
+"""Tests for timestamped arrival processes and the latency driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import LRUPolicy
+from repro.sim import CacheSimulator
+from repro.workloads import SequentialScanWorkload, TwoPoolWorkload
+from repro.workloads.arrival import (
+    PoissonArrivals,
+    UniformArrivals,
+    drive_with_latency,
+)
+
+
+class TestUniformArrivals:
+    def test_constant_gaps(self):
+        arrivals = UniformArrivals(SequentialScanWorkload(n=10),
+                                   references_per_ms=0.5)
+        timed = list(arrivals.timed_references(4))
+        times = [t for t, _ in timed]
+        assert times == [0.0, 2.0, 4.0, 6.0]
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            UniformArrivals(SequentialScanWorkload(n=2),
+                            references_per_ms=0.0)
+
+    def test_preserves_references(self):
+        workload = SequentialScanWorkload(n=5)
+        arrivals = UniformArrivals(workload)
+        pages = [ref.page for _, ref in arrivals.timed_references(5)]
+        assert pages == [0, 1, 2, 3, 4]
+
+
+class TestPoissonArrivals:
+    def test_times_strictly_increase(self):
+        arrivals = PoissonArrivals(SequentialScanWorkload(n=100),
+                                   references_per_ms=1.0)
+        times = [t for t, _ in arrivals.timed_references(100, seed=1)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_approximately_honored(self):
+        arrivals = PoissonArrivals(SequentialScanWorkload(n=10_000),
+                                   references_per_ms=0.5)
+        times = [t for t, _ in arrivals.timed_references(10_000, seed=2)]
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        arrivals = PoissonArrivals(SequentialScanWorkload(n=50))
+        first = list(arrivals.timed_references(50, seed=3))
+        second = list(arrivals.timed_references(50, seed=3))
+        assert first == second
+
+
+class TestDriveWithLatency:
+    def test_hits_cost_nothing(self):
+        workload = SequentialScanWorkload(n=2)
+        arrivals = UniformArrivals(workload, references_per_ms=0.001)
+        simulator = CacheSimulator(LRUPolicy(), capacity=4)
+        report = drive_with_latency(
+            simulator, arrivals.timed_references(10))
+        assert report.hits == 8       # 2 compulsory misses, then hits
+        assert report.misses == 2
+        assert report.miss_response_ms.count == 2
+        # Average over all requests is pulled down by the free hits.
+        assert (report.request_latency_ms.mean
+                < report.miss_response_ms.mean)
+
+    def test_saturation_builds_queues(self):
+        # A miss-heavy stream at high arrival rate must queue: the mean
+        # response exceeds the bare service time.
+        workload = TwoPoolWorkload(n1=100, n2=10_000)
+        simulator = CacheSimulator(LRUPolicy(), capacity=10)
+        fast = UniformArrivals(workload, references_per_ms=0.2)
+        report = drive_with_latency(
+            simulator, fast.timed_references(3000, seed=4))
+        slow_simulator = CacheSimulator(LRUPolicy(), capacity=10)
+        slow = UniformArrivals(workload, references_per_ms=0.001)
+        relaxed = drive_with_latency(
+            slow_simulator, slow.timed_references(3000, seed=4))
+        assert (report.miss_response_ms.mean
+                > relaxed.miss_response_ms.mean)
+
+    def test_hit_ratio_reported(self):
+        workload = SequentialScanWorkload(n=3)
+        arrivals = UniformArrivals(workload)
+        simulator = CacheSimulator(LRUPolicy(), capacity=3)
+        report = drive_with_latency(simulator,
+                                    arrivals.timed_references(9))
+        assert report.hit_ratio == pytest.approx(6 / 9)

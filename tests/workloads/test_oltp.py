@@ -1,0 +1,122 @@
+"""Calibration tests for the synthetic OLTP bank trace.
+
+DESIGN.md §3 promises that the synthetic trace reproduces the statistics
+the paper reports for its production trace; these tests are that promise,
+asserted quantitatively (on a 1/4-length trace for speed — the profile is
+length-stable, and the full-length numbers go into EXPERIMENTS.md).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import five_minute_census, profile_trace, skew_profile
+from repro.errors import ConfigurationError
+from repro.workloads import BankOLTPWorkload
+from repro.workloads.oltp import (
+    FIVE_MINUTE_WINDOW_REFERENCES,
+    PAPER_TRACE_LENGTH,
+)
+
+TRACE_LENGTH = PAPER_TRACE_LENGTH // 4
+WINDOW = FIVE_MINUTE_WINDOW_REFERENCES // 4
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return list(BankOLTPWorkload().references(TRACE_LENGTH, seed=0))
+
+
+class TestCalibration:
+    def test_head_skew_matches_paper(self, trace):
+        """'40% of the references access only 3% of the pages.'"""
+        profile = skew_profile(trace)
+        assert profile.mass_of_top_fraction(0.03) == pytest.approx(
+            0.40, abs=0.05)
+
+    def test_tail_flattening_matches_paper(self, trace):
+        """'90% of the references access 65% of the pages.'"""
+        profile = skew_profile(trace)
+        assert profile.mass_of_top_fraction(0.65) == pytest.approx(
+            0.90, abs=0.04)
+
+    def test_five_minute_census_matches_paper(self, trace):
+        """'only about 1400 pages satisfy the criterion of the Five
+        Minute Rule' — scaled window, same page count expectation."""
+        census = five_minute_census(trace, WINDOW)
+        assert census.qualifying_pages == pytest.approx(1400, rel=0.35)
+
+    def test_touched_pages_scale(self, trace):
+        profile = skew_profile(trace)
+        # The designed touched-page total is ~46,700 at full length; at
+        # quarter length the cold/warm tails are partially visited.
+        assert 20_000 < profile.touched_pages < 50_000
+
+    def test_profile_summary_mentions_key_stats(self, trace):
+        profile = profile_trace(trace, WINDOW)
+        text = "\n".join(profile.summary_lines())
+        assert "references" in text
+        assert "Five Minute" in text
+
+
+class TestMechanics:
+    def test_deterministic_per_seed(self):
+        workload = BankOLTPWorkload()
+        first = [r.page for r in workload.references(2000, seed=5)]
+        second = [r.page for r in workload.references(2000, seed=5)]
+        assert first == second
+
+    def test_region_classification(self):
+        workload = BankOLTPWorkload()
+        assert workload.region_of(0) == "root"
+        assert workload.region_of(workload.hot.first_page) == "hot"
+        assert workload.region_of(workload.warm.first_page) == "warm"
+        assert workload.region_of(workload.cold.first_page) == "cold"
+        with pytest.raises(ConfigurationError):
+            workload.region_of(10 ** 9)
+
+    def test_mass_shares_empirical(self):
+        workload = BankOLTPWorkload()
+        refs = list(workload.references(100_000, seed=2))
+        by_region = Counter(workload.region_of(r.page) for r in refs)
+        expected = workload.expected_mass()
+        for region, mass in expected.items():
+            assert by_region[region] / len(refs) == pytest.approx(
+                mass, abs=0.03), region
+
+    def test_chain_walks_are_sequential_in_warm_region(self):
+        workload = BankOLTPWorkload()
+        refs = [r.page for r in workload.references(5000, seed=3)]
+        warm_lo = workload.warm.first_page
+        warm_hi = warm_lo + workload.warm.pages
+        runs = 0
+        for a, b in zip(refs, refs[1:]):
+            if warm_lo <= a < warm_hi and b == a + 1:
+                runs += 1
+        assert runs > 50  # navigational chains exist
+
+    def test_writes_present(self):
+        workload = BankOLTPWorkload(write_fraction=0.25)
+        refs = list(workload.references(5000, seed=4))
+        writes = sum(1 for r in refs if r.is_write)
+        assert 0.1 < writes / len(refs) < 0.4
+
+    def test_scanner_processes_annotated(self):
+        workload = BankOLTPWorkload()
+        refs = list(workload.references(20_000, seed=6))
+        scanners = {r.process_id for r in refs if r.process_id
+                    and r.process_id >= 100}
+        assert len(scanners) == workload.scan_processes
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConfigurationError):
+            BankOLTPWorkload(root_mass=0.5, hot_mass=0.5, warm_mass=0.2)
+        with pytest.raises(ConfigurationError):
+            BankOLTPWorkload(hot_pages=0)
+        with pytest.raises(ConfigurationError):
+            BankOLTPWorkload(write_fraction=1.5)
+
+    def test_five_minute_pages_property(self):
+        workload = BankOLTPWorkload()
+        assert workload.five_minute_pages == (workload.root.pages
+                                              + workload.hot.pages)

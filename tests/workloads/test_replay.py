@@ -1,0 +1,67 @@
+"""Tests for trace replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage import write_trace
+from repro.types import AccessKind, Reference
+from repro.workloads import TraceReplayWorkload
+
+
+class TestTraceReplay:
+    def test_replays_exactly(self):
+        refs = [Reference(page=p) for p in [3, 1, 4, 1, 5]]
+        workload = TraceReplayWorkload(refs)
+        assert list(workload.references(5)) == refs
+
+    def test_accepts_bare_page_ids(self):
+        workload = TraceReplayWorkload([7, 8, 7])
+        assert [r.page for r in workload.references(3)] == [7, 8, 7]
+
+    def test_truncation(self):
+        workload = TraceReplayWorkload([1, 2, 3])
+        assert [r.page for r in workload.references(2)] == [1, 2]
+
+    def test_overrun_raises_without_cycle(self):
+        workload = TraceReplayWorkload([1, 2])
+        with pytest.raises(ConfigurationError):
+            list(workload.references(3))
+
+    def test_cycle_mode_loops(self):
+        workload = TraceReplayWorkload([1, 2], cycle=True)
+        assert [r.page for r in workload.references(5)] == [1, 2, 1, 2, 1]
+
+    def test_seed_is_irrelevant(self):
+        workload = TraceReplayWorkload([9, 8, 7])
+        assert (list(workload.references(3, seed=1))
+                == list(workload.references(3, seed=99)))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceReplayWorkload([])
+
+    def test_pages_universe(self):
+        workload = TraceReplayWorkload([5, 3, 5, 9])
+        assert list(workload.pages()) == [3, 5, 9]
+
+    def test_metadata_preserved(self):
+        refs = [Reference(page=1, kind=AccessKind.WRITE, process_id=4,
+                          txn_id=2)]
+        workload = TraceReplayWorkload(refs)
+        replayed = next(iter(workload.references(1)))
+        assert replayed == refs[0]
+
+    def test_from_file_roundtrip(self, tmp_path):
+        path = tmp_path / "replay.trace"
+        refs = [Reference(page=p, kind=AccessKind.WRITE) for p in range(6)]
+        write_trace(path, refs)
+        workload = TraceReplayWorkload.from_file(path)
+        assert len(workload) == 6
+        assert list(workload.references(6)) == refs
+
+    def test_usable_in_experiment_runner(self):
+        from repro.sim import PolicySpec, run_paper_protocol
+        workload = TraceReplayWorkload([p % 5 for p in range(200)])
+        result = run_paper_protocol(workload, PolicySpec.lru(),
+                                    capacity=3, warmup=50, measured=150)
+        assert 0.0 <= result.hit_ratio <= 1.0

@@ -1,0 +1,186 @@
+"""Tests for scan, hotspot, correlated, and combinator workloads."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import AccessKind
+from repro.workloads import (
+    BurstSpec,
+    CorrelatedReferenceWrapper,
+    MovingHotspotWorkload,
+    ProbabilisticMix,
+    ScanSwampingWorkload,
+    SequentialScanWorkload,
+    TwoPoolWorkload,
+    concatenate,
+    interleave,
+)
+from repro.workloads.sequential_scan import INTERACTIVE_PROCESS
+
+
+class TestSequentialScan:
+    def test_pages_in_order(self):
+        workload = SequentialScanWorkload(n=5)
+        assert [r.page for r in workload.references(7)] == [0, 1, 2, 3, 4,
+                                                            0, 1]
+
+    def test_offset_start(self):
+        workload = SequentialScanWorkload(n=3, first_page=10)
+        assert [r.page for r in workload.references(4)] == [10, 11, 12, 10]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SequentialScanWorkload(n=0)
+
+
+class TestScanSwamping:
+    def test_process_ids_distinguish_streams(self):
+        workload = ScanSwampingWorkload(db_pages=1000, hot_pages=50,
+                                        scan_processes=2, scan_share=0.5)
+        refs = list(workload.references(2000, seed=1))
+        processes = {r.process_id for r in refs}
+        assert INTERACTIVE_PROCESS in processes
+        assert {1, 2} <= processes
+
+    def test_scanners_advance_sequentially(self):
+        workload = ScanSwampingWorkload(db_pages=1000, hot_pages=50,
+                                        scan_processes=1, scan_share=0.5)
+        scan_pages = [r.page for r in workload.references(2000, seed=2)
+                      if r.process_id == 1]
+        deltas = [(b - a) % 1000
+                  for a, b in zip(scan_pages, scan_pages[1:])]
+        assert all(delta == 1 for delta in deltas)
+
+    def test_interactive_hits_hot_set_mostly(self):
+        workload = ScanSwampingWorkload(db_pages=10_000, hot_pages=100,
+                                        hot_fraction=0.95,
+                                        scan_processes=0, scan_share=0.0)
+        refs = list(workload.references(10_000, seed=3))
+        hot = sum(1 for r in refs if r.page < 100)
+        assert hot / len(refs) == pytest.approx(0.95, abs=0.02)
+
+    def test_interactive_only_strips_scanners(self):
+        workload = ScanSwampingWorkload(scan_processes=2, scan_share=0.4)
+        quiet = workload.interactive_only()
+        assert quiet.scan_processes == 0
+        refs = list(quiet.references(100, seed=4))
+        assert all(r.process_id == INTERACTIVE_PROCESS for r in refs)
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConfigurationError):
+            ScanSwampingWorkload(hot_pages=0)
+        with pytest.raises(ConfigurationError):
+            ScanSwampingWorkload(scan_processes=0, scan_share=0.5)
+
+
+class TestMovingHotspot:
+    def test_hot_set_jumps_each_epoch(self):
+        workload = MovingHotspotWorkload(db_pages=1000, hot_pages=10,
+                                         hot_fraction=1.0, epoch_length=100)
+        refs = [r.page for r in workload.references(200, seed=5)]
+        first_epoch = set(refs[:100])
+        second_epoch = set(refs[100:])
+        assert first_epoch.isdisjoint(second_epoch)
+
+    def test_epoch_probabilities_sum_to_one(self):
+        workload = MovingHotspotWorkload(db_pages=100, hot_pages=10)
+        probabilities = workload.epoch_probabilities(3)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_drift_mode_moves_gradually(self):
+        workload = MovingHotspotWorkload(db_pages=1000, hot_pages=10,
+                                         epoch_length=100, drift_pages=2)
+        assert workload.hot_start(0) == 0
+        assert workload.hot_start(1) == 2
+        assert workload.hot_start(5) == 10
+
+    def test_hot_fraction_respected(self):
+        workload = MovingHotspotWorkload(db_pages=10_000, hot_pages=100,
+                                         hot_fraction=0.8,
+                                         epoch_length=100_000)
+        refs = [r.page for r in workload.references(20_000, seed=6)]
+        hot = sum(1 for p in refs if p < 100)
+        assert hot / len(refs) == pytest.approx(0.8, abs=0.02)
+
+
+class TestCorrelatedWrapper:
+    def test_bursts_repeat_the_same_page(self):
+        base = TwoPoolWorkload(n1=10, n2=100)
+        workload = CorrelatedReferenceWrapper(
+            base, burst_fraction=1.0,
+            spec=BurstSpec(extra_references=2, max_gap=2))
+        refs = list(workload.references(300, seed=7))
+        counts = Counter(r.page for r in refs)
+        # With every reference bursting, multiplicity must be >= 2 for
+        # most touched pages.
+        multi = sum(1 for c in counts.values() if c >= 2)
+        assert multi >= len(counts) * 0.5
+
+    def test_follow_ups_share_txn_id_and_are_writes(self):
+        base = SequentialScanWorkload(n=1000)
+        workload = CorrelatedReferenceWrapper(
+            base, burst_fraction=1.0,
+            spec=BurstSpec(extra_references=1, max_gap=1,
+                           write_follow_up=True))
+        refs = list(workload.references(50, seed=8))
+        by_txn = {}
+        for ref in refs:
+            if ref.txn_id is not None:
+                by_txn.setdefault(ref.txn_id, []).append(ref)
+        assert by_txn
+        for txn_refs in by_txn.values():
+            pages = {r.page for r in txn_refs}
+            assert len(pages) == 1
+            if len(txn_refs) > 1:
+                assert any(r.kind is AccessKind.WRITE for r in txn_refs)
+
+    def test_zero_fraction_passthrough(self):
+        base = SequentialScanWorkload(n=10)
+        workload = CorrelatedReferenceWrapper(base, burst_fraction=0.0)
+        assert ([r.page for r in workload.references(10, seed=9)]
+                == [r.page for r in base.references(10, seed=9)])
+
+    def test_exact_count_emitted(self):
+        base = TwoPoolWorkload(n1=5, n2=50)
+        workload = CorrelatedReferenceWrapper(base, burst_fraction=0.5)
+        assert len(list(workload.references(137, seed=10))) == 137
+
+
+class TestCombinators:
+    def test_concatenate_phases(self):
+        first = SequentialScanWorkload(n=3)
+        second = SequentialScanWorkload(n=3, first_page=100)
+        combined = concatenate((first, 3), (second, 3))
+        pages = [r.page for r in combined.references(6, seed=0)]
+        assert pages == [0, 1, 2, 100, 101, 102]
+
+    def test_concatenate_truncates(self):
+        combined = concatenate((SequentialScanWorkload(n=10), 10))
+        assert len(list(combined.references(4, seed=0))) == 4
+
+    def test_interleave_round_robin(self):
+        a = SequentialScanWorkload(n=5)
+        b = SequentialScanWorkload(n=5, first_page=100)
+        pages = [r.page for r in interleave(a, b).references(6, seed=0)]
+        assert pages == [0, 100, 1, 101, 2, 102]
+
+    def test_probabilistic_mix_respects_weights(self):
+        a = SequentialScanWorkload(n=10)              # pages < 10
+        b = SequentialScanWorkload(n=10, first_page=100)
+        mix = ProbabilisticMix([(a, 0.8), (b, 0.2)])
+        pages = [r.page for r in mix.references(5000, seed=11)]
+        low = sum(1 for p in pages if p < 10)
+        assert low / len(pages) == pytest.approx(0.8, abs=0.03)
+
+    def test_mix_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMix([])
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMix([(SequentialScanWorkload(n=2), -1.0)])
+
+    def test_combinator_page_universe(self):
+        a = SequentialScanWorkload(n=2)
+        b = SequentialScanWorkload(n=2, first_page=10)
+        assert list(interleave(a, b).pages()) == [0, 1, 10, 11]

@@ -1,0 +1,79 @@
+"""Tests for the executed (engine-backed) customer lookup workload."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import CustomerLookupWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CustomerLookupWorkload(customers=500, update_fraction=0.3,
+                                  abort_probability=0.1,
+                                  locality_run_length=3)
+
+
+class TestCustomerLookupWorkload:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CustomerLookupWorkload(customers=0)
+        with pytest.raises(ConfigurationError):
+            CustomerLookupWorkload(update_fraction=2.0)
+
+    def test_emits_exact_count(self, workload):
+        assert len(list(workload.references(503, seed=1))) == 503
+
+    def test_reference_pattern_alternates_index_and_records(self, workload):
+        refs = list(workload.references(2000, seed=2))
+        hot = set(workload.hot_pages())
+        hot_refs = sum(1 for r in refs if r.page in hot)
+        # Every lookup touches root+leaf then a record page; with updates
+        # re-touching records, index pages are 40-70% of traffic.
+        assert 0.3 < hot_refs / len(refs) < 0.8
+
+    def test_hot_pages_are_index_pages(self, workload):
+        hot = workload.hot_pages()
+        # 500 customers at 200 entries/leaf -> 3 leaves (+1 root).
+        assert len(hot) == 4
+
+    def test_updates_produce_write_references(self, workload):
+        refs = list(workload.references(2000, seed=3))
+        assert any(r.is_write for r in refs)
+
+    def test_transactions_annotate_references(self, workload):
+        refs = list(workload.references(500, seed=4))
+        assert any(r.process_id is not None for r in refs)
+
+    def test_retries_re_reference_same_pages(self):
+        # With heavy aborts, retried transactions re-touch pages: the
+        # multiset of pages shows near-duplicate bursts.
+        workload = CustomerLookupWorkload(customers=200,
+                                          abort_probability=0.4,
+                                          update_fraction=0.0)
+        refs = list(workload.references(2000, seed=5))
+        counts = Counter(r.page for r in refs)
+        assert max(counts.values()) > 2
+
+    def test_lru2_beats_lru_on_executed_workload(self):
+        """The headline claim on engine-generated references."""
+        from repro.core import LRUKPolicy
+        from repro.policies import LRUPolicy
+        from repro.sim import CacheSimulator
+
+        workload = CustomerLookupWorkload(customers=1000,
+                                          update_fraction=0.0)
+        refs = list(workload.references(12_000, seed=6))
+        ratios = {}
+        for name, policy in (("lru", LRUPolicy()),
+                             ("lru2", LRUKPolicy(k=2))):
+            simulator = CacheSimulator(policy, capacity=8)
+            for index, ref in enumerate(refs):
+                if index == 3000:
+                    simulator.start_measurement()
+                simulator.access(ref)
+            ratios[name] = simulator.hit_ratio
+        # 1000 customers -> 5 leaves + root: LRU-2 pins the 6 hot pages
+        # in 8 slots; LRU-1 churns them against record pages.
+        assert ratios["lru2"] > ratios["lru"] + 0.1

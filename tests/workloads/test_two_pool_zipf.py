@@ -1,0 +1,126 @@
+"""Tests for the two-pool and Zipfian workload generators."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import TwoPoolWorkload, ZipfianWorkload
+from repro.workloads.zipfian import zipf_theta, zipfian_probabilities
+
+
+class TestTwoPool:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            TwoPoolWorkload(n1=0, n2=10)
+        with pytest.raises(ConfigurationError):
+            TwoPoolWorkload(n1=10, n2=10)  # paper requires N1 < N2
+
+    def test_strict_alternation(self):
+        workload = TwoPoolWorkload(n1=5, n2=50)
+        refs = list(workload.references(20, seed=1))
+        for index, ref in enumerate(refs):
+            if index % 2 == 0:
+                assert ref.page < 5
+            else:
+                assert 5 <= ref.page < 55
+
+    def test_deterministic_per_seed(self):
+        workload = TwoPoolWorkload(n1=5, n2=50)
+        first = [r.page for r in workload.references(100, seed=9)]
+        second = [r.page for r in workload.references(100, seed=9)]
+        third = [r.page for r in workload.references(100, seed=10)]
+        assert first == second
+        assert first != third
+
+    def test_probabilities_match_paper_formula(self):
+        workload = TwoPoolWorkload(n1=100, n2=10_000)
+        probabilities = workload.reference_probabilities()
+        assert probabilities[0] == pytest.approx(1 / 200)
+        assert probabilities[100] == pytest.approx(1 / 20_000)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_pool_of(self):
+        workload = TwoPoolWorkload(n1=3, n2=10)
+        assert workload.pool_of(2) == 1
+        assert workload.pool_of(3) == 2
+        with pytest.raises(ConfigurationError):
+            workload.pool_of(999)
+
+    def test_paper_protocol_constants(self):
+        workload = TwoPoolWorkload(n1=100, n2=10_000)
+        assert workload.warmup_references == 1000
+        assert workload.measured_references == 3000
+
+    def test_empirical_frequency_matches_beta(self):
+        workload = TwoPoolWorkload(n1=10, n2=100)
+        counts = Counter(r.page for r in workload.references(40_000, seed=3))
+        hot_share = sum(counts[p] for p in range(10)) / 40_000
+        assert hot_share == pytest.approx(0.5, abs=0.01)
+
+    def test_random_pool_mode(self):
+        workload = TwoPoolWorkload(n1=10, n2=100,
+                                   strict_alternation=False)
+        refs = [r.page for r in workload.references(10_000, seed=2)]
+        hot = sum(1 for p in refs if p < 10)
+        assert hot == pytest.approx(5000, abs=300)
+
+
+class TestZipfian:
+    def test_theta_formula(self):
+        assert zipf_theta(0.8, 0.2) == pytest.approx(
+            math.log(0.8) / math.log(0.2))
+        with pytest.raises(ConfigurationError):
+            zipf_theta(1.0, 0.2)
+
+    def test_probabilities_sum_to_one(self):
+        probabilities = zipfian_probabilities(500)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_cdf_matches_paper_formula(self):
+        # F(i) = (i/N)^theta must hold for the cumulative masses.
+        n, alpha, beta = 100, 0.8, 0.2
+        probabilities = zipfian_probabilities(n, alpha, beta)
+        theta = zipf_theta(alpha, beta)
+        cumulative = 0.0
+        for i in range(1, n + 1):
+            cumulative += probabilities[i]
+            assert cumulative == pytest.approx((i / n) ** theta, rel=1e-9)
+
+    def test_eighty_twenty_property(self):
+        # A fraction alpha of references should hit a fraction beta of
+        # pages: the mass of the hottest 20% must be ~80%.
+        workload = ZipfianWorkload(n=1000, alpha=0.8, beta=0.2)
+        probabilities = workload.reference_probabilities()
+        hot_mass = sum(probabilities[i] for i in range(1, 201))
+        assert hot_mass == pytest.approx(0.8, abs=0.001)
+
+    def test_recursive_self_similarity(self):
+        # Within the hottest beta fraction the 80-20 rule recurses:
+        # the hottest 4% get 64%.
+        workload = ZipfianWorkload(n=1000, alpha=0.8, beta=0.2)
+        probabilities = workload.reference_probabilities()
+        hottest = sum(probabilities[i] for i in range(1, 41))
+        assert hottest == pytest.approx(0.64, abs=0.001)
+
+    def test_sampling_matches_distribution(self):
+        workload = ZipfianWorkload(n=100, alpha=0.8, beta=0.2)
+        counts = Counter(r.page for r in workload.references(50_000, seed=4))
+        top20 = sum(counts[i] for i in range(1, 21)) / 50_000
+        assert top20 == pytest.approx(0.8, abs=0.02)
+
+    def test_pages_are_one_based(self):
+        workload = ZipfianWorkload(n=50)
+        pages = {r.page for r in workload.references(5000, seed=5)}
+        assert min(pages) >= 1
+        assert max(pages) <= 50
+
+    def test_deterministic_per_seed(self):
+        workload = ZipfianWorkload(n=100)
+        assert ([r.page for r in workload.references(50, seed=6)]
+                == [r.page for r in workload.references(50, seed=6)])
+
+    def test_hottest_pages_helper(self):
+        workload = ZipfianWorkload(n=1000)
+        assert list(workload.hottest_pages(0.02)) == list(range(1, 21))
