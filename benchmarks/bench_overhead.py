@@ -5,11 +5,17 @@ Run with::
 
     pytest benchmarks/bench_overhead.py --benchmark-only -s
 
-Measures per-reference processing cost for every registered policy on an
-identical Zipfian stream. The claim under test: LRU-2's overhead is a
-small constant factor over classical LRU — not an asymptotic blow-up —
-thanks to the heap-backed victim selection (the literal Figure 2.1 scan
-is bench A10's subject).
+Two views of the same claim:
+
+- A12 measures mean per-reference processing cost for every registered
+  policy on an identical Zipfian stream — LRU-2's overhead should be a
+  small constant factor over classical LRU, not an asymptotic blow-up,
+  thanks to the heap-backed victim selection (the literal Figure 2.1
+  scan is bench A10's subject).
+- A12b wraps each policy in :class:`repro.obs.ProfiledPolicy` and
+  reports the p50/p95/p99 latency of every protocol hook (``observe`` /
+  ``on_hit`` / ``on_admit`` / ``choose_victim`` / ``on_evict``). A mean
+  can hide tail spikes in the lazy heap; the distribution cannot.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.core import LRUKPolicy
+from repro.obs import PROFILED_HOOKS, ProfiledPolicy
 from repro.policies import make_policy
 from repro.sim import CacheSimulator, Table
 from repro.workloads import ZipfianWorkload
@@ -25,6 +32,9 @@ from .conftest import emit
 
 CAPACITY = 500
 REFERENCES = 60_000
+#: Hook-profiling stream length: timing every hook roughly doubles the
+#: per-reference cost, so the distributional bench uses a shorter stream.
+PROFILE_REFERENCES = 20_000
 
 #: (label, factory) — one row each; capacity-aware policies get CAPACITY.
 CONFIGS = (
@@ -64,6 +74,29 @@ def _run_overhead() -> Table:
     return table
 
 
+def _run_hook_profiles() -> Table:
+    """Drive every policy through a profiled simulator; tabulate tails."""
+    workload = ZipfianWorkload(n=20_000)
+    references = list(workload.references(PROFILE_REFERENCES, seed=9))
+    table = Table(
+        title=f"A12b — per-hook latency distribution, microseconds "
+              f"(B={CAPACITY}, Zipfian N=20k, {PROFILE_REFERENCES} refs)",
+        columns=["policy", "hook", "calls", "p50 us", "p95 us", "p99 us"])
+    for label, factory in CONFIGS:
+        profiled = ProfiledPolicy(factory())
+        simulator = CacheSimulator(profiled, CAPACITY)
+        for reference in references:
+            simulator.access(reference)
+        report = profiled.report()
+        for hook in PROFILED_HOOKS:
+            summary = report.get(hook)
+            if summary is None:
+                continue
+            table.add_row(label, hook, int(summary["count"]),
+                          summary["p50"], summary["p95"], summary["p99"])
+    return table
+
+
 def test_a12_bookkeeping_overhead(benchmark):
     table = benchmark.pedantic(_run_overhead, rounds=1, iterations=1)
     emit("A12 — bookkeeping overhead", table.render())
@@ -72,3 +105,16 @@ def test_a12_bookkeeping_overhead(benchmark):
     # of classical LRU on the same stream.
     assert factors["LRU-2"] < 5.0
     assert factors["LRU-3"] < 6.0
+
+
+def test_a12b_hook_latency_profile(benchmark):
+    table = benchmark.pedantic(_run_hook_profiles, rounds=1, iterations=1)
+    emit("A12b — per-hook latency distribution", table.render())
+    by_policy = {}
+    for policy, hook, calls, p50, p95, p99 in table.rows:
+        assert calls > 0
+        assert 0.0 <= p50 <= p95 <= p99
+        by_policy.setdefault(policy, set()).add(hook)
+    # Every policy exercised the full protocol on this stream.
+    for policy, hooks in by_policy.items():
+        assert hooks == set(PROFILED_HOOKS), (policy, hooks)

@@ -25,7 +25,9 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.workloads` — the paper's workload generators;
 - :mod:`repro.sim` — measurement protocol, sweeps, B(1)/B(2);
 - :mod:`repro.analysis` — the Section 3 mathematics and analytic models;
-- :mod:`repro.experiments` — ready-made specs for Tables 4.1/4.2/4.3.
+- :mod:`repro.experiments` — ready-made specs for Tables 4.1/4.2/4.3;
+- :mod:`repro.obs` — structured events, metrics registry, windowed
+  hit-ratio recording, JSONL/ring/timeline sinks, latency profiling.
 """
 
 from . import policies  # registers baseline policies
@@ -46,6 +48,8 @@ from .buffer import BufferPool, TraceRecorder
 from .storage import SimulatedDisk
 from .sim import CacheSimulator
 from .types import AccessKind, PageId, Reference
+from . import obs
+from .obs import EventDispatcher, MetricsRegistry, ProfiledPolicy
 
 __version__ = "1.0.0"
 
@@ -68,5 +72,9 @@ __all__ = [
     "AccessKind",
     "PageId",
     "Reference",
+    "obs",
+    "EventDispatcher",
+    "MetricsRegistry",
+    "ProfiledPolicy",
     "__version__",
 ]

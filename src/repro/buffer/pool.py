@@ -28,6 +28,14 @@ from ..errors import (
     NoEvictableFrameError,
     PageNotResidentError,
 )
+from ..obs import runtime as obs_runtime
+from ..obs.dispatcher import EventDispatcher
+from ..obs.events import (
+    AccessEvent,
+    EvictionEvent,
+    FlushEvent,
+    victim_telemetry,
+)
 from ..policies.base import ReplacementPolicy
 from ..storage.disk import SimulatedDisk
 from ..storage.page import DiskPage
@@ -61,13 +69,17 @@ class BufferPool:
 
     def __init__(self, disk: SimulatedDisk, policy: ReplacementPolicy,
                  capacity: int,
-                 observer: Optional[TraceObserver] = None) -> None:
+                 observer: Optional[TraceObserver] = None,
+                 observability: Optional[EventDispatcher] = None) -> None:
         if capacity <= 0:
             raise ConfigurationError("buffer pool capacity must be positive")
         self.disk = disk
         self.policy = policy
         self.capacity = capacity
         self.observer = observer
+        self._obs = obs_runtime.resolve(observability)
+        if self._obs is not None and hasattr(policy, "bind_observability"):
+            policy.bind_observability(self._obs)
         self.clock = LogicalClock()
         self.stats = BufferStats()
         self._frames = [Frame(i) for i in range(capacity)]
@@ -160,6 +172,11 @@ class BufferPool:
             frame.pin()
         if kind is AccessKind.WRITE:
             frame.dirty = True
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            obs.emit(AccessEvent(time=now, page=page_id,
+                                 hit=frame_index is not None,
+                                 write=kind is AccessKind.WRITE))
         return frame
 
     def _allocate_frame(self, incoming: PageId, now: int) -> Frame:
@@ -177,6 +194,13 @@ class BufferPool:
 
     def _evict(self, victim: PageId, now: int) -> Frame:
         frame = self.frame_of(victim)
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            distance, informed = victim_telemetry(self.policy, victim, now)
+            obs.emit(EvictionEvent(time=now, victim=victim,
+                                   dirty=frame.dirty,
+                                   backward_k_distance=distance,
+                                   history_informed=informed))
         self.policy.on_evict(victim, now)
         del self._page_table[victim]
         self.stats.evictions += 1
@@ -212,17 +236,25 @@ class BufferPool:
         self.disk.write(page)
         frame.dirty = False
         self.stats.flushes += 1
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            obs.emit(FlushEvent(time=self.clock.now, page=page_id))
         return True
 
     def flush_all(self) -> int:
         """Write back every dirty frame; returns how many were written."""
         flushed = 0
+        obs = self._obs
+        emit = obs is not None and bool(obs._sinks)
         for frame in self._frames:
             if frame.page is not None and frame.dirty:
                 self.disk.write(frame.page)
                 frame.dirty = False
                 self.stats.flushes += 1
                 flushed += 1
+                if emit and frame.page_id is not None:
+                    obs.emit(FlushEvent(time=self.clock.now,
+                                        page=frame.page_id))
         return flushed
 
     def evict_page(self, page_id: PageId) -> None:

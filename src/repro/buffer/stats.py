@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import MISSING, dataclass, fields
 
 
 @dataclass
@@ -40,11 +40,14 @@ class BufferStats:
         return self.dirty_evictions + self.flushes
 
     def reset(self) -> None:
-        """Zero every counter (measurement-window boundary)."""
-        self.logical_reads = 0
-        self.logical_writes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.dirty_evictions = 0
-        self.flushes = 0
+        """Restore every field to its declared default.
+
+        Iterates the dataclass fields instead of a hand-maintained list,
+        so counters added later (e.g. by the observability layer) cannot
+        be silently missed at a measurement-window boundary.
+        """
+        for spec in fields(self):
+            if spec.default is not MISSING:
+                setattr(self, spec.name, spec.default)
+            elif spec.default_factory is not MISSING:
+                setattr(self, spec.name, spec.default_factory())

@@ -5,18 +5,29 @@ Examples::
     repro table4.1                 # the two-pool experiment
     repro table4.2 --scale 2       # Zipfian, longer windows
     repro table4.3 --scale 0.3     # OLTP trace, shortened
+    repro table4.2 --metrics-out run.jsonl --timeline
     repro trace-stats              # Section 4.3 trace characterization
     repro ablation k-sweep         # any DESIGN.md ablation by name
     repro list                     # what can be run
 
 (or ``python -m repro ...`` without installing the entry point.)
+
+Observability: every table and ablation command accepts
+``--metrics-out PATH`` (stream structured JSONL events — accesses,
+evictions with backward K-distance, history purges, run snapshots, and
+the sliding-window hit-ratio series; schema in docs/observability.md)
+and ``--timeline`` (render an ASCII chart of windowed hit ratio over
+logical time after the table). Progress narration is itself an event
+stream: ``--quiet`` just leaves the console sink unattached, so it
+silences tables, ablations, and trace-stats uniformly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 from .analysis import profile_trace
 from .experiments import (
@@ -29,17 +40,78 @@ from .experiments import (
     table_4_3_spec,
 )
 from .experiments.ablations import ABLATIONS
+from .obs import (
+    ConsoleProgressSink,
+    EventDispatcher,
+    HitRatioWindowRecorder,
+    JsonlSink,
+    ProgressEvent,
+    SnapshotEvent,
+    TimelineSink,
+)
+from .obs import runtime as obs_runtime
 from .sim import run_experiment
 from .workloads import BankOLTPWorkload
 from .workloads.oltp import FIVE_MINUTE_WINDOW_REFERENCES, PAPER_TRACE_LENGTH
 
+#: JSONL access-event sampling for CLI runs: decision events (evictions,
+#: purges, snapshots, window samples) are always written; raw accesses are
+#: thinned to keep multi-million-reference sweeps to tractable file sizes.
+METRICS_ACCESS_SAMPLE = 100
 
-def _progress(line: str) -> None:
-    print(f"  .. {line}", file=sys.stderr)
+#: Sliding hit-ratio window (references) and sampling stride for the
+#: windowed series behind ``--metrics-out`` / ``--timeline``.
+METRICS_WINDOW = 1000
+METRICS_STRIDE = 250
+
+
+@contextmanager
+def _observability(quiet: bool,
+                   metrics_out: Optional[str] = None,
+                   timeline: bool = False
+                   ) -> Iterator[Tuple[EventDispatcher,
+                                       Optional[TimelineSink]]]:
+    """Build, activate, and tear down the command's event dispatcher.
+
+    The dispatcher is made ambient (:func:`repro.obs.activate`) so
+    simulators built anywhere below — including inside ablation
+    functions that never see a parameter — emit through it. On exit a
+    ``phase="final"`` snapshot is emitted and file sinks are closed.
+    """
+    dispatcher = EventDispatcher()
+    if not quiet:
+        dispatcher.attach(ConsoleProgressSink())
+    timeline_sink: Optional[TimelineSink] = None
+    if metrics_out or timeline:
+        dispatcher.attach(HitRatioWindowRecorder(
+            dispatcher, window=METRICS_WINDOW, stride=METRICS_STRIDE))
+    if timeline:
+        timeline_sink = dispatcher.attach(TimelineSink())
+    if metrics_out:
+        dispatcher.attach(JsonlSink.open(
+            metrics_out, access_every=METRICS_ACCESS_SAMPLE))
+    try:
+        with obs_runtime.activate(dispatcher):
+            yield dispatcher, timeline_sink
+        if dispatcher.active:
+            dispatcher.emit(SnapshotEvent(time=None, phase="final",
+                                          counters={}))
+    finally:
+        dispatcher.close()
+    if metrics_out:
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
+
+
+def _progress_to(dispatcher: EventDispatcher):
+    """A progress callback that narrates through the event stream."""
+    def emitter(line: str) -> None:
+        dispatcher.emit(ProgressEvent(message=line))
+    return emitter
 
 
 def _run_table(number: str, scale: float, repetitions: Optional[int],
-               quiet: bool, compare: bool, chart: bool) -> int:
+               quiet: bool, compare: bool, chart: bool,
+               metrics_out: Optional[str], timeline: bool) -> int:
     builders = {
         "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
         "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
@@ -48,38 +120,53 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
     builder, paper_rows, default_reps = builders[number]
     reps = repetitions if repetitions is not None else default_reps
     spec = builder(scale=scale, repetitions=reps)
-    result = run_experiment(spec, progress=None if quiet else _progress)
-    if compare:
-        print(comparison_table(result, paper_rows).render())
-    else:
-        print(result.to_table().render())
-    if chart:
-        from .sim import chart_experiment
-        print()
-        print(chart_experiment(result))
+    with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
+        result = run_experiment(spec, progress=_progress_to(obs),
+                                observability=obs)
+        if compare:
+            print(comparison_table(result, paper_rows).render())
+        else:
+            print(result.to_table().render())
+        if chart:
+            from .sim import chart_experiment
+            print()
+            print(chart_experiment(result))
+        if timeline_sink is not None:
+            print()
+            print(timeline_sink.render())
     return 0
 
 
-def _run_trace_stats(scale: float) -> int:
-    workload = BankOLTPWorkload()
-    count = int(PAPER_TRACE_LENGTH * scale)
-    references = list(workload.references(count, seed=0))
-    profile = profile_trace(references, FIVE_MINUTE_WINDOW_REFERENCES)
-    print("Synthetic OLTP trace characterization "
-          "(compare paper Section 4.3 prose):")
-    for line in profile.summary_lines():
-        print(f"  {line}")
+def _run_trace_stats(scale: float, quiet: bool) -> int:
+    with _observability(quiet) as (obs, _):
+        narrate = _progress_to(obs)
+        workload = BankOLTPWorkload()
+        count = int(PAPER_TRACE_LENGTH * scale)
+        narrate(f"generating {count} OLTP references ...")
+        references = list(workload.references(count, seed=0))
+        narrate("profiling the trace ...")
+        profile = profile_trace(references, FIVE_MINUTE_WINDOW_REFERENCES)
+        print("Synthetic OLTP trace characterization "
+              "(compare paper Section 4.3 prose):")
+        for line in profile.summary_lines():
+            print(f"  {line}")
     return 0
 
 
-def _run_ablation(name: str) -> int:
+def _run_ablation(name: str, quiet: bool,
+                  metrics_out: Optional[str], timeline: bool) -> int:
     try:
         ablation = ABLATIONS[name]
     except KeyError:
         known = ", ".join(sorted(ABLATIONS))
         print(f"unknown ablation {name!r}; known: {known}", file=sys.stderr)
         return 2
-    print(ablation().render())
+    with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
+        _progress_to(obs)(f"running ablation {name} ...")
+        print(ablation().render())
+        if timeline_sink is not None:
+            print()
+            print(timeline_sink.render())
     return 0
 
 
@@ -98,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the LRU-K paper's tables and ablations.")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="stream observability events (JSONL) to this file")
+        command_parser.add_argument(
+            "--timeline", action="store_true",
+            help="render a windowed hit-ratio timeline after the output")
+
     for number in ("4.1", "4.2", "4.3"):
         table = sub.add_parser(f"table{number}",
                                help=f"regenerate paper Table {number}")
@@ -106,18 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
         table.add_argument("--repetitions", type=int, default=None,
                            help="seeded repetitions to average")
         table.add_argument("--quiet", action="store_true",
-                           help="suppress per-cell progress on stderr")
+                           help="suppress progress narration on stderr")
         table.add_argument("--compare", action="store_true",
                            help="render side-by-side with the paper's numbers")
         table.add_argument("--chart", action="store_true",
                            help="append an ASCII hit-ratio chart")
+        add_obs_flags(table)
 
     stats = sub.add_parser("trace-stats",
                            help="characterize the synthetic OLTP trace")
     stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--quiet", action="store_true",
+                       help="suppress progress narration on stderr")
 
     ablation = sub.add_parser("ablation", help="run a DESIGN.md ablation")
     ablation.add_argument("name", help="ablation name (see `repro list`)")
+    ablation.add_argument("--quiet", action="store_true",
+                          help="suppress progress narration on stderr")
+    add_obs_flags(ablation)
 
     report = sub.add_parser(
         "report", help="regenerate the full reproduction report (Markdown)")
@@ -128,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--repetitions", type=int, default=2)
     report.add_argument("--ablations", action="store_true",
                         help="include the A1-A10 ablation tables")
+    report.add_argument("--quiet", action="store_true",
+                        help="suppress progress narration on stderr")
 
     sub.add_parser("list", help="list runnable targets")
     return parser
@@ -139,16 +242,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _list_targets()
     if args.command == "trace-stats":
-        return _run_trace_stats(args.scale)
+        return _run_trace_stats(args.scale, args.quiet)
     if args.command == "ablation":
-        return _run_ablation(args.name)
+        return _run_ablation(args.name, args.quiet,
+                             args.metrics_out, args.timeline)
     if args.command == "report":
         from .experiments.report import generate_report
-        text = generate_report(table_scale=args.table_scale,
-                               oltp_scale=args.oltp_scale,
-                               repetitions=args.repetitions,
-                               include_ablations=args.ablations,
-                               progress=_progress)
+        with _observability(args.quiet) as (obs, _):
+            text = generate_report(table_scale=args.table_scale,
+                                   oltp_scale=args.oltp_scale,
+                                   repetitions=args.repetitions,
+                                   include_ablations=args.ablations,
+                                   progress=_progress_to(obs))
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(text)
@@ -158,7 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     number = args.command.removeprefix("table")
     return _run_table(number, args.scale, args.repetitions,
-                      args.quiet, args.compare, args.chart)
+                      args.quiet, args.compare, args.chart,
+                      args.metrics_out, args.timeline)
 
 
 if __name__ == "__main__":

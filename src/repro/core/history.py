@@ -163,22 +163,25 @@ class HistoryStore:
         self._blocks[page] = block
         return block, True
 
-    def touch(self, page: PageId, is_resident: Callable[[PageId], bool]) -> None:
+    def touch(self, page: PageId, is_resident: Callable[[PageId], bool]) -> int:
         """Note that a page's LAST advanced; drives the amortized demon.
 
         ``is_resident`` lets the purge sweep skip blocks whose page is in
         buffer — those are always retained (they back live replacement
-        decisions).
+        decisions). Returns how many blocks the amortized sweep purged
+        (0 when the demon did not run), so callers can report demon
+        activity without polling.
         """
         block = self._blocks.get(page)
         if block is None:
-            return
+            return 0
         if self.retained_information_period is None:
-            return
+            return 0
         heapq.heappush(self._expiry, (block.last, page))
         self._touches_since_purge += 1
         if self._touches_since_purge >= self.purge_interval:
-            self.purge(block.last, is_resident)
+            return self.purge(block.last, is_resident)
+        return 0
 
     def purge(self, now: int, is_resident: Callable[[PageId], bool]) -> int:
         """Purge expired non-resident blocks; returns how many were dropped.

@@ -49,10 +49,11 @@ longest, and count the event in :class:`LRUKStats.forced_evictions`.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NoEvictableFrameError
+from ..obs.events import PurgeEvent
 from ..policies.base import NO_EXCLUSIONS, ReplacementPolicy, register_policy_factory
 from ..types import PageId
 from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
@@ -295,13 +296,37 @@ class LRUKPolicy(ReplacementPolicy):
         """Number of history control blocks currently in memory."""
         return len(self.history)
 
+    def export_metrics(self, registry, prefix: str = "lruk") -> None:
+        """Publish :class:`LRUKStats` and history occupancy as gauges.
+
+        The gauges are callable-backed so they keep reading the *live*
+        counters even across :meth:`reset` (which replaces the stats
+        object). Registered names: every ``LRUKStats`` field plus
+        ``history_informed_evictions``, ``retained_history_blocks`` and
+        ``purged_history_blocks``, all under ``{prefix}.``.
+        """
+        for spec in fields(LRUKStats):
+            registry.gauge(f"{prefix}.{spec.name}",
+                           lambda name=spec.name: getattr(self.stats, name))
+        registry.gauge(f"{prefix}.history_informed_evictions",
+                       lambda: self.stats.history_informed_evictions)
+        registry.gauge(f"{prefix}.retained_history_blocks",
+                       lambda: len(self.history))
+        registry.gauge(f"{prefix}.purged_history_blocks",
+                       lambda: self.history.purged_blocks)
+
     # -- internals ------------------------------------------------------------------
 
     def _push(self, page: PageId, block: HistoryBlock) -> None:
         heapq.heappush(self._heap, (block.kth_time(), block.hist[0], page))
 
     def _after_touch(self, page: PageId, block: HistoryBlock) -> None:
-        self.history.touch(page, self._resident.__contains__)
+        purged = self.history.touch(page, self._resident.__contains__)
+        if purged:
+            obs = self.observability
+            if obs is not None and obs._sinks:
+                obs.emit(PurgeEvent(time=block.last, dropped=purged,
+                                    retained=len(self.history)))
         if self.max_history_blocks is not None:
             heapq.heappush(self._block_lru, (block.last, page))
             self._enforce_block_bound()

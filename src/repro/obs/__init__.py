@@ -1,0 +1,76 @@
+"""repro.obs — zero-dependency observability for the buffer stack.
+
+Four layers, all strictly pay-for-what-you-use:
+
+- **events** (:mod:`repro.obs.events`): the structured record of what the
+  drivers did — accesses, evictions (with backward K-distance), flushes,
+  history purges, run snapshots, windowed hit-ratio samples, progress.
+- **dispatch** (:mod:`repro.obs.dispatcher`, :mod:`repro.obs.runtime`):
+  an :class:`EventDispatcher` fans events out to sinks; drivers resolve
+  it explicitly (``observability=``) or ambiently (:func:`activate`).
+  With no sinks attached the instrumented hot paths cost one attribute
+  load and one truth test per reference.
+- **metrics** (:mod:`repro.obs.registry`, :mod:`repro.obs.window`):
+  named counters/gauges/histograms plus the sliding-window hit-ratio
+  recorder that makes adaptivity quantitative.
+- **sinks & profiling** (:mod:`repro.obs.sinks`,
+  :mod:`repro.obs.profiler`): JSONL files, bounded ring buffers, the
+  terminal timeline, and the per-hook latency profiler behind the
+  distributional numbers in ``benchmarks/bench_overhead.py``.
+
+See ``docs/observability.md`` for the JSONL schema.
+"""
+
+from .events import (
+    AccessEvent,
+    EvictionEvent,
+    FlushEvent,
+    ObsEvent,
+    ProgressEvent,
+    PurgeEvent,
+    SnapshotEvent,
+    WindowEvent,
+    victim_telemetry,
+)
+from .dispatcher import CallbackSink, EventDispatcher, Sink
+from .runtime import activate, current, resolve
+from .registry import Counter, Gauge, HistogramMetric, MetricsRegistry
+from .window import HitRatioWindowRecorder, SlidingHitRatioWindow
+from .profiler import PROFILED_HOOKS, HookProfile, ProfiledPolicy
+from .sinks import (
+    ConsoleProgressSink,
+    JsonlSink,
+    RingBufferSink,
+    TimelineSink,
+)
+
+__all__ = [
+    "ObsEvent",
+    "AccessEvent",
+    "EvictionEvent",
+    "FlushEvent",
+    "PurgeEvent",
+    "SnapshotEvent",
+    "WindowEvent",
+    "ProgressEvent",
+    "victim_telemetry",
+    "EventDispatcher",
+    "Sink",
+    "CallbackSink",
+    "activate",
+    "current",
+    "resolve",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "SlidingHitRatioWindow",
+    "HitRatioWindowRecorder",
+    "ProfiledPolicy",
+    "HookProfile",
+    "PROFILED_HOOKS",
+    "JsonlSink",
+    "RingBufferSink",
+    "ConsoleProgressSink",
+    "TimelineSink",
+]

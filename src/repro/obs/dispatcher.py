@@ -1,0 +1,110 @@
+"""Event dispatcher: the pay-for-what-you-use fan-out point.
+
+A dispatcher owns an ordered list of *sinks* and a *context* — key/value
+annotations (policy label, buffer size, seed) that identify which run the
+events belong to. Emitting with no sinks attached is (nearly) free, and
+the drivers guard the event *construction* too::
+
+    obs = simulator._obs
+    if obs is not None and obs.active:
+        obs.emit(AccessEvent(...))
+
+so an un-observed simulator pays one attribute load and one truth test
+per reference — the Section 1.2 "little bookkeeping overhead" discipline
+applied to the instrumentation itself.
+
+Sinks are objects with a ``handle(event, context)`` method (see
+:mod:`repro.obs.sinks`); plain callables of the same shape work through
+:class:`CallbackSink`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List
+
+from .events import ObsEvent
+
+
+class Sink:
+    """Base sink: receives every event the dispatcher emits."""
+
+    def handle(self, event: ObsEvent, context: Dict[str, object]) -> None:
+        """Consume one event. ``context`` is the dispatcher's current
+        annotation dict (shared, do not mutate)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (files); idempotent."""
+
+
+class CallbackSink(Sink):
+    """Adapt a plain ``fn(event, context)`` callable into a sink."""
+
+    def __init__(self, fn: Callable[[ObsEvent, Dict[str, object]], None]
+                 ) -> None:
+        self._fn = fn
+
+    def handle(self, event: ObsEvent, context: Dict[str, object]) -> None:
+        self._fn(event, context)
+
+
+class EventDispatcher:
+    """Fan events out to attached sinks, tagged with the run context."""
+
+    __slots__ = ("_sinks", "context")
+
+    def __init__(self) -> None:
+        self._sinks: List[Sink] = []
+        self.context: Dict[str, object] = {}
+
+    # -- sink management ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached."""
+        return bool(self._sinks)
+
+    __bool__ = active.fget
+
+    def attach(self, sink: Sink) -> Sink:
+        """Attach a sink; returns it for fluent use."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        """Detach a previously attached sink (no error if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def close(self) -> None:
+        """Close and detach every sink."""
+        sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            sink.close()
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, event: ObsEvent) -> None:
+        """Deliver one event to every sink, in attachment order.
+
+        Sinks may themselves emit derived events (the windowed recorder
+        does); nested emission is safe because delivery iterates over a
+        snapshot of the sink list.
+        """
+        for sink in tuple(self._sinks):
+            sink.handle(event, self.context)
+
+    # -- context -----------------------------------------------------------------
+
+    @contextmanager
+    def scoped(self, **annotations) -> Iterator["EventDispatcher"]:
+        """Temporarily extend the context (run labels, capacities, seeds)."""
+        saved = self.context
+        self.context = {**saved, **annotations}
+        try:
+            yield self
+        finally:
+            self.context = saved

@@ -1,0 +1,164 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+The event stream (:mod:`repro.obs.events`) answers "what happened, in
+order"; the registry answers "where are we now". It is the export surface
+for instruments that already exist in the codebase — e.g.
+:class:`repro.core.lruk.LRUKStats` is published through gauges — and for
+new ones. Histogram instruments reuse the statistics layer
+(:class:`repro.stats.Histogram` bins + :class:`repro.stats.StreamingMoments`
+for exact moments), so quantiles and means stay O(1)-per-observation.
+
+A registry renders to a flat ``{name: value}`` snapshot suitable for a
+:class:`~repro.obs.events.SnapshotEvent` payload or a JSON report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..stats import Histogram, StreamingMoments
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add to the count (negative increments are rejected)."""
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value: either set directly or read from a callable.
+
+    Callable-backed gauges make exporting live objects trivial::
+
+        registry.gauge("lruk.evictions", lambda: policy.stats.evictions)
+    """
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str,
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Pin the gauge to a value (only for non-callable gauges)."""
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is callable-backed; cannot set")
+        self._value = value
+
+    def read(self) -> float:
+        """The current value."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class HistogramMetric:
+    """A distribution instrument: binned quantiles + exact moments."""
+
+    __slots__ = ("name", "_histogram", "_moments")
+
+    def __init__(self, name: str, low: float, high: float,
+                 bins: int = 64) -> None:
+        self.name = name
+        self._histogram = Histogram(low, high, bins)
+        self._moments = StreamingMoments()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._histogram.add(value)
+        self._moments.add(value)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded so far."""
+        return self._moments.count
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations."""
+        return self._moments.mean
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (bin-interpolated)."""
+        return self._histogram.quantile(q)
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 / p99 as a flat dict."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of uniquely named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, HistogramMetric] = {}
+
+    def _claim(self, name: str) -> None:
+        if (name in self._counters or name in self._gauges
+                or name in self._histograms):
+            raise ConfigurationError(f"duplicate metric name {name!r}")
+
+    def counter(self, name: str) -> Counter:
+        """Create (or fetch) the counter with this name."""
+        existing = self._counters.get(name)
+        if existing is not None:
+            return existing
+        self._claim(name)
+        counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        """Create a gauge; re-registering a name raises."""
+        self._claim(name)
+        gauge = self._gauges[name] = Gauge(name, fn)
+        return gauge
+
+    def histogram(self, name: str, low: float, high: float,
+                  bins: int = 64) -> HistogramMetric:
+        """Create a histogram instrument over ``[low, high)``."""
+        self._claim(name)
+        histogram = self._histograms[name] = HistogramMetric(
+            name, low, high, bins)
+        return histogram
+
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into ``{name: value}``.
+
+        Histograms expand to ``name.count/.mean/.p50/.p95/.p99``.
+        """
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.read()
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.summary().items():
+                out[f"{name}.{key}"] = value
+        return dict(sorted(out.items()))

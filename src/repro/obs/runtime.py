@@ -1,0 +1,53 @@
+"""Ambient dispatcher: opt-in observability without parameter threading.
+
+The experiment stack creates simulators many layers below the CLI
+(``run_experiment -> sweep -> run_paper_protocol -> measure_hit_ratio ->
+CacheSimulator``), and the ablation functions create them directly. So
+that ``repro ablation adaptivity --metrics-out ...`` works without
+rewriting every call site, a dispatcher can be *activated* for a dynamic
+extent::
+
+    with activate(dispatcher):
+        table = ablation()      # every driver built inside observes it
+
+Drivers resolve their dispatcher at construction: an explicit
+``observability=`` argument wins, otherwise :func:`current` is consulted,
+otherwise they run unobserved. There is deliberately no default global
+dispatcher — with nothing activated, the hot paths see ``None`` and skip
+instrumentation entirely.
+
+The simulators are single-threaded (a ``LogicalClock`` per driver), so a
+module-level slot is sufficient; nesting is supported and restores the
+previous dispatcher on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .dispatcher import EventDispatcher
+
+_active: Optional[EventDispatcher] = None
+
+
+def current() -> Optional[EventDispatcher]:
+    """The dispatcher activated for the current dynamic extent, if any."""
+    return _active
+
+
+def resolve(explicit: Optional[EventDispatcher]) -> Optional[EventDispatcher]:
+    """An explicit dispatcher if given, else the ambient one, else None."""
+    return explicit if explicit is not None else _active
+
+
+@contextmanager
+def activate(dispatcher: EventDispatcher) -> Iterator[EventDispatcher]:
+    """Make ``dispatcher`` ambient for the extent of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = dispatcher
+    try:
+        yield dispatcher
+    finally:
+        _active = previous

@@ -1,0 +1,106 @@
+"""Sliding-window hit-ratio time series.
+
+The paper's protocol reports one end-state hit ratio per run; the moving-
+hotspot experiments (ablation A4, the Section 4 stability discussion)
+need the *trajectory* — how fast a policy adapts when the hot set moves.
+:class:`SlidingHitRatioWindow` maintains the hit ratio over the last
+``window`` references in O(1) per access;
+:class:`HitRatioWindowRecorder` is a dispatcher sink that samples it
+every ``stride`` references, appends to an in-memory series, and
+re-emits each sample as a :class:`~repro.obs.events.WindowEvent` so file
+sinks and the timeline renderer see the series too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .dispatcher import EventDispatcher, Sink
+from .events import AccessEvent, ObsEvent, SnapshotEvent, WindowEvent
+
+
+class SlidingHitRatioWindow:
+    """Hit ratio over the most recent ``window`` references, O(1) updates."""
+
+    __slots__ = ("window", "_outcomes", "_hits", "_count")
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.window = window
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._hits = 0
+        self._count = 0
+
+    def record(self, hit: bool) -> None:
+        """Fold one access into the window."""
+        if len(self._outcomes) == self.window and self._outcomes[0]:
+            self._hits -= 1
+        self._outcomes.append(hit)
+        if hit:
+            self._hits += 1
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total accesses folded in (not capped by the window)."""
+        return self._count
+
+    @property
+    def occupancy(self) -> int:
+        """How many references currently fill the window."""
+        return len(self._outcomes)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio over the window contents (0.0 while empty)."""
+        if not self._outcomes:
+            return 0.0
+        return self._hits / len(self._outcomes)
+
+    def reset(self) -> None:
+        """Empty the window."""
+        self._outcomes.clear()
+        self._hits = 0
+        self._count = 0
+
+
+class HitRatioWindowRecorder(Sink):
+    """Sink that turns the access stream into a windowed hit-ratio series.
+
+    Attach it to the dispatcher whose access events it should consume::
+
+        recorder = dispatcher.attach(HitRatioWindowRecorder(dispatcher))
+
+    The window resets on every ``phase="start"`` snapshot, so runs stay
+    separate; the per-run series is also kept in :attr:`series` keyed by
+    the dispatcher context active at sample time.
+    """
+
+    def __init__(self, dispatcher: EventDispatcher,
+                 window: int = 1000,
+                 stride: Optional[int] = None) -> None:
+        if stride is not None and stride <= 0:
+            raise ConfigurationError("stride must be positive")
+        self._dispatcher = dispatcher
+        self._window = SlidingHitRatioWindow(window)
+        self.stride = stride if stride is not None else max(1, window // 4)
+        #: All samples, in emission order: (context copy, time, hit ratio).
+        self.series: List[Tuple[Dict[str, object], int, float]] = []
+
+    def handle(self, event: ObsEvent, context: Dict[str, object]) -> None:
+        if isinstance(event, AccessEvent):
+            self._window.record(event.hit)
+            if self._window.count % self.stride == 0:
+                sample = WindowEvent(
+                    time=event.time,
+                    hit_ratio=self._window.hit_ratio,
+                    window=self._window.window,
+                    count=self._window.occupancy)
+                self.series.append(
+                    (dict(context), event.time, sample.hit_ratio))
+                self._dispatcher.emit(sample)
+        elif isinstance(event, SnapshotEvent) and event.phase == "start":
+            self._window.reset()

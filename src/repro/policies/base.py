@@ -43,6 +43,14 @@ class ReplacementPolicy(abc.ABC):
 
     def __init__(self) -> None:
         self._resident: set = set()
+        #: Event dispatcher bound by an observing driver, or None. Policies
+        #: that emit their own telemetry (LRU-K's purge demon) check this;
+        #: everything else can ignore it.
+        self.observability = None
+
+    def bind_observability(self, dispatcher) -> None:
+        """Attach an :class:`repro.obs.EventDispatcher` for policy events."""
+        self.observability = dispatcher
 
     # -- residency mirror ----------------------------------------------------
 

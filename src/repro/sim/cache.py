@@ -15,6 +15,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..clock import LogicalClock
 from ..errors import ConfigurationError
+from ..obs import runtime as obs_runtime
+from ..obs.dispatcher import EventDispatcher
+from ..obs.events import AccessEvent, EvictionEvent, victim_telemetry
 from ..policies.base import ReplacementPolicy
 from ..types import (
     AccessOutcome,
@@ -37,14 +40,23 @@ class CacheSimulator:
     record_evictions:
         When True, keeps an in-order log of (time, page) evictions for
         post-hoc analysis (costs memory on long runs; off by default).
+    observability:
+        An :class:`repro.obs.EventDispatcher` to emit access/eviction
+        events through. Defaults to the ambient dispatcher activated via
+        :func:`repro.obs.activate`, if any; with none resolved (or no
+        sinks attached) the hot path pays only a guard per reference.
     """
 
     def __init__(self, policy: ReplacementPolicy, capacity: int,
-                 record_evictions: bool = False) -> None:
+                 record_evictions: bool = False,
+                 observability: Optional[EventDispatcher] = None) -> None:
         if capacity <= 0:
             raise ConfigurationError("buffer capacity must be positive")
         self.policy = policy
         self.capacity = capacity
+        self._obs = obs_runtime.resolve(observability)
+        if self._obs is not None and hasattr(policy, "bind_observability"):
+            policy.bind_observability(self._obs)
         self.clock = LogicalClock()
         self.counter = HitRatioCounter()
         self.warmup_counter: Optional[HitRatioCounter] = None
@@ -98,11 +110,21 @@ class CacheSimulator:
         if ref.is_write:
             self._resident[ref.page] = True
         self.counter.record(outcome.hit)
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            obs.emit(AccessEvent(time=t, page=ref.page, hit=outcome.hit,
+                                 write=ref.is_write))
         return outcome
 
     def _evict(self, victim: PageId, t: int, outcome: AccessOutcome) -> None:
         dirty = self._resident.pop(victim)
         admitted = self._admitted_at.pop(victim)
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            distance, informed = victim_telemetry(self.policy, victim, t)
+            obs.emit(EvictionEvent(time=t, victim=victim, dirty=dirty,
+                                   backward_k_distance=distance,
+                                   history_informed=informed))
         self.policy.on_evict(victim, t)
         self.evictions += 1
         outcome.evicted = victim

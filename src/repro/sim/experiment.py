@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, SimulationError
+from ..obs.dispatcher import EventDispatcher
 from ..workloads.base import Workload
 from .equi_effective import equi_effective_buffer_size
 from .runner import PolicySpec, run_paper_protocol
@@ -93,13 +94,15 @@ class ExperimentResult:
 
 
 def run_experiment(spec: ExperimentSpec,
-                   progress: Optional[Callable[[str], None]] = None
+                   progress: Optional[Callable[[str], None]] = None,
+                   observability: Optional[EventDispatcher] = None
                    ) -> ExperimentResult:
     """Execute a spec: sweep all cells, then derive B(1)/B(2) per row."""
     cells = sweep_buffer_sizes(
         spec.workload, spec.policies, spec.capacities,
         warmup=spec.warmup, measured=spec.measured,
-        seed=spec.seed, repetitions=spec.repetitions, progress=progress)
+        seed=spec.seed, repetitions=spec.repetitions, progress=progress,
+        observability=observability)
     result = ExperimentResult(spec=spec, cells=cells)
     if spec.equi_effective is not None:
         baseline_label, improved_label = spec.equi_effective
@@ -116,7 +119,8 @@ def run_experiment(spec: ExperimentSpec,
                 run = run_paper_protocol(
                     spec.workload, baseline_spec, capacity,
                     spec.warmup, spec.measured,
-                    seed=spec.seed, repetitions=spec.repetitions)
+                    seed=spec.seed, repetitions=spec.repetitions,
+                    observability=observability)
                 cache[capacity] = run.hit_ratio
             return cache[capacity]
 

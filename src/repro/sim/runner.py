@@ -15,10 +15,13 @@ for a given (capacity, workload, trace) context.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..obs import runtime as obs_runtime
+from ..obs.dispatcher import EventDispatcher
+from ..obs.events import SnapshotEvent
 from ..policies import A0Policy, BeladyPolicy, ReplacementPolicy, make_policy
 from ..stats import ConfidenceInterval, mean_confidence_interval
 from ..types import PageId, Reference
@@ -128,27 +131,71 @@ class RunResult:
         return self.hits + self.misses
 
 
+def _snapshot_counters(simulator: CacheSimulator) -> dict:
+    """The counters a run-boundary SnapshotEvent carries."""
+    counters = {
+        "hits": float(simulator.counter.hits),
+        "misses": float(simulator.counter.misses),
+        "hit_ratio": simulator.hit_ratio,
+        "evictions": float(simulator.evictions),
+        "writebacks": float(simulator.writebacks),
+        "resident": float(len(simulator.resident_pages)),
+    }
+    # LRU-K-family policies carry an LRUKStats block; surface it so the
+    # eviction-quality counters land in the event stream too.
+    stats = getattr(simulator.policy, "stats", None)
+    if stats is not None and is_dataclass(stats):
+        for spec in dataclass_fields(stats):
+            counters[f"policy.{spec.name}"] = float(
+                getattr(stats, spec.name))
+        informed = getattr(stats, "history_informed_evictions", None)
+        if informed is not None:
+            counters["policy.history_informed_evictions"] = float(informed)
+    return counters
+
+
 def measure_hit_ratio(policy: ReplacementPolicy,
                       references: Sequence[Reference],
                       capacity: int,
-                      warmup: int) -> CacheSimulator:
+                      warmup: int,
+                      observability: Optional[EventDispatcher] = None
+                      ) -> CacheSimulator:
     """Drive one policy over a reference string with a warm-up boundary.
 
     Returns the simulator so callers can pull any statistic; the hit ratio
-    of the measurement window is ``simulator.hit_ratio``.
+    of the measurement window is ``simulator.hit_ratio``. When an event
+    dispatcher is given (or ambient), the run is bracketed by
+    ``SnapshotEvent``s: ``start``, ``measurement`` (the warm-up
+    boundary), and ``end`` (with final counters, including the policy's
+    own stats block when it has one).
     """
     if warmup < 0 or warmup >= len(references):
         raise ConfigurationError(
             "warm-up must leave a non-empty measurement window")
-    simulator = CacheSimulator(policy, capacity)
+    simulator = CacheSimulator(policy, capacity,
+                               observability=observability)
+    obs = simulator._obs
+    observing = obs is not None and bool(obs._sinks)
+    if observing:
+        obs.emit(SnapshotEvent(time=0, phase="start",
+                               counters={"capacity": float(capacity),
+                                         "references": float(
+                                             len(references)),
+                                         "warmup": float(warmup)}))
     for index, reference in enumerate(references):
         if index == warmup:
+            if observing:
+                # Emitted before the counter reset so this snapshot
+                # carries the warm-up window's totals.
+                obs.emit(SnapshotEvent(time=simulator.now,
+                                       phase="measurement",
+                                       counters=_snapshot_counters(
+                                           simulator)))
             simulator.start_measurement()
         simulator.access(reference)
-    if warmup == 0:
-        # start_measurement was never triggered by the loop above; the
-        # whole string is the measurement window, which is already true.
-        pass
+    if observing:
+        obs.emit(SnapshotEvent(time=simulator.now, phase="end",
+                               counters=_snapshot_counters(simulator)))
     return simulator
 
 
@@ -173,10 +220,18 @@ def run_paper_protocol(workload: Workload,
                        warmup: int,
                        measured: int,
                        seed: int = 0,
-                       repetitions: int = 1) -> ProtocolResult:
-    """Warm up, measure, repeat over seeds, and average — Section 4.1 style."""
+                       repetitions: int = 1,
+                       observability: Optional[EventDispatcher] = None
+                       ) -> ProtocolResult:
+    """Warm up, measure, repeat over seeds, and average — Section 4.1 style.
+
+    Events emitted during each run are tagged with
+    ``policy``/``capacity``/``seed`` context so downstream sinks can
+    separate the repetitions of a sweep.
+    """
     if repetitions <= 0:
         raise ConfigurationError("need at least one repetition")
+    obs = obs_runtime.resolve(observability)
     total = warmup + measured
     runs: List[RunResult] = []
     for repetition in range(repetitions):
@@ -186,7 +241,14 @@ def run_paper_protocol(workload: Workload,
         if spec.needs_trace:
             context.trace = [ref.page for ref in references]
         policy = spec.build(context)
-        simulator = measure_hit_ratio(policy, references, capacity, warmup)
+        if obs is not None:
+            with obs.scoped(policy=spec.label, capacity=capacity,
+                            seed=run_seed):
+                simulator = measure_hit_ratio(policy, references, capacity,
+                                              warmup, observability=obs)
+        else:
+            simulator = measure_hit_ratio(policy, references, capacity,
+                                          warmup)
         warmup_ratio = (simulator.warmup_counter.hit_ratio
                         if simulator.warmup_counter else 0.0)
         runs.append(RunResult(

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..obs.dispatcher import EventDispatcher
 from ..stats import ConfidenceInterval
 from ..workloads.base import Workload
 from .runner import PolicySpec, ProtocolResult, run_paper_protocol
@@ -34,7 +35,9 @@ def sweep_buffer_sizes(workload: Workload,
                        measured: int,
                        seed: int = 0,
                        repetitions: int = 1,
-                       progress: Optional[callable] = None) -> List[SweepCell]:
+                       progress: Optional[callable] = None,
+                       observability: Optional[EventDispatcher] = None
+                       ) -> List[SweepCell]:
     """Run every (policy, capacity) cell of a table.
 
     ``progress``, when given, is called with a human-readable string after
@@ -54,7 +57,8 @@ def sweep_buffer_sizes(workload: Workload,
         for spec in specs:
             result = run_paper_protocol(
                 workload, spec, capacity, warmup, measured,
-                seed=seed, repetitions=repetitions)
+                seed=seed, repetitions=repetitions,
+                observability=observability)
             cell.results[spec.label] = result
             if progress is not None:
                 progress(f"B={capacity:<6d} {spec.label:<8s} "

@@ -1,0 +1,116 @@
+"""End-to-end observability: metrics registry, events, and CLI flags."""
+
+import json
+
+import pytest
+
+from repro import CacheSimulator, LRUKPolicy
+from repro.cli import main
+from repro.obs import (
+    EventDispatcher,
+    MetricsRegistry,
+    RingBufferSink,
+    runtime,
+)
+from repro.sim import measure_hit_ratio
+from repro.workloads import ZipfianWorkload
+
+
+def run_zipfian(policy, references=8_000, capacity=60):
+    """A skewed run long enough for full-K victims to dominate."""
+    workload = ZipfianWorkload(n=500)
+    simulator = CacheSimulator(policy, capacity=capacity)
+    simulator.run(workload.references(references, seed=7))
+    return simulator
+
+
+class TestLRUKMetricsExport:
+    def test_history_informed_evictions_populated(self):
+        policy = LRUKPolicy(k=2)
+        registry = MetricsRegistry()
+        policy.export_metrics(registry)
+        run_zipfian(policy)
+        snapshot = registry.snapshot()
+        assert snapshot["lruk.evictions"] > 0
+        # The headline LRU-K discriminator: most victims at steady state
+        # were chosen by their real backward K-distance, not by the
+        # infinite-distance (no full history) tie-break.
+        assert snapshot["lruk.history_informed_evictions"] > 0
+        assert (snapshot["lruk.history_informed_evictions"]
+                == snapshot["lruk.evictions"]
+                - snapshot["lruk.infinite_distance_evictions"])
+        assert snapshot["lruk.retained_history_blocks"] > 0
+
+    def test_gauges_survive_policy_reset(self):
+        policy = LRUKPolicy(k=2)
+        registry = MetricsRegistry()
+        policy.export_metrics(registry)
+        run_zipfian(policy, references=1_000)
+        assert registry.snapshot()["lruk.admissions"] > 0
+        policy.reset()
+        assert registry.snapshot()["lruk.admissions"] == 0.0
+
+    def test_purge_events_reach_the_dispatcher(self):
+        # A short RIP plus >256 touches triggers the amortized purge
+        # demon; the policy reports each sweep as a PurgeEvent.
+        dispatcher = EventDispatcher()
+        ring = dispatcher.attach(RingBufferSink())
+        policy = LRUKPolicy(k=2, retained_information_period=50)
+        policy.bind_observability(dispatcher)
+        run_zipfian(policy, references=4_000, capacity=20)
+        purges = ring.events("purge")
+        assert purges, "expected at least one purge sweep"
+        assert all(event.dropped > 0 for event in purges)
+        assert all(event.retained >= 0 for event in purges)
+
+
+class TestRunnerSnapshots:
+    def test_measurement_protocol_emits_three_phases(self):
+        dispatcher = EventDispatcher()
+        ring = dispatcher.attach(RingBufferSink())
+        references = list(ZipfianWorkload(n=200).references(2_000, seed=3))
+        measure_hit_ratio(LRUKPolicy(k=2), references,
+                          capacity=30, warmup=500,
+                          observability=dispatcher)
+        phases = [event.phase for event in ring.events("snapshot")]
+        assert phases == ["start", "measurement", "end"]
+        end = ring.events("snapshot")[-1]
+        assert 0.0 <= end.counters["hit_ratio"] <= 1.0
+        assert end.counters["policy.history_informed_evictions"] >= 0
+
+
+class TestCliObservability:
+    @pytest.fixture()
+    def jsonl(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        exit_code = main(["table4.1", "--scale", "0.1",
+                          "--repetitions", "1", "--quiet",
+                          "--metrics-out", str(path), "--timeline"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        return records, out
+
+    def test_metrics_out_is_parseable_jsonl(self, jsonl):
+        records, _ = jsonl
+        kinds = {record["event"] for record in records}
+        assert {"access", "eviction", "snapshot", "window"} <= kinds
+        assert records[-1] == {"event": "snapshot", "time": None,
+                               "phase": "final", "counters": {}}
+
+    def test_records_carry_run_context(self, jsonl):
+        records, _ = jsonl
+        evictions = [r for r in records if r["event"] == "eviction"]
+        assert evictions
+        sample = evictions[0]
+        assert {"policy", "capacity", "seed"} <= set(sample)
+        assert "backward_k_distance" in sample
+        assert "history_informed" in sample
+
+    def test_timeline_rendered_after_the_table(self, jsonl):
+        _, out = jsonl
+        assert "windowed hit ratio over time" in out
+
+    def test_ambient_dispatcher_cleared_after_cli_run(self, jsonl):
+        assert runtime.current() is None

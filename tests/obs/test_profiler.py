@@ -1,0 +1,107 @@
+"""Hook latency profiler: transparency and percentile math."""
+
+import pytest
+
+from repro import CacheSimulator, LRUKPolicy
+from repro.errors import ConfigurationError
+from repro.obs import PROFILED_HOOKS, HookProfile, ProfiledPolicy
+from repro.policies import LRUPolicy
+from repro.workloads import ZipfianWorkload
+
+
+class TestHookProfile:
+    def test_nearest_rank_percentiles(self):
+        profile = HookProfile("observe")
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            profile.add(value)
+        assert profile.count == 5
+        assert profile.percentile(0.0) == 1.0
+        assert profile.percentile(0.50) == 3.0
+        assert profile.percentile(1.0) == 5.0
+        assert profile.mean == pytest.approx(3.0)
+
+    def test_percentiles_are_monotone(self):
+        profile = HookProfile("on_hit")
+        for value in range(100):
+            profile.add(float(value))
+        summary = profile.summary_us()
+        assert summary["count"] == 100.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_empty_profile_is_zero(self):
+        profile = HookProfile("on_evict")
+        assert profile.mean == 0.0
+        assert profile.percentile(0.99) == 0.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            HookProfile("x").percentile(1.5)
+
+    def test_samples_added_after_a_query_still_sort(self):
+        profile = HookProfile("observe")
+        profile.add(2.0)
+        assert profile.percentile(1.0) == 2.0
+        profile.add(1.0)
+        assert profile.percentile(0.0) == 1.0
+
+
+def run(policy, capacity=64, references=5_000):
+    workload = ZipfianWorkload(n=1_000)
+    simulator = CacheSimulator(policy, capacity=capacity)
+    evictions = []
+    for reference in workload.references(references, seed=11):
+        outcome = simulator.access(reference)
+        if outcome.evicted is not None:
+            evictions.append(outcome.evicted)
+    return simulator.hit_ratio, evictions
+
+
+class TestProfiledPolicy:
+    @pytest.mark.parametrize("make", [
+        lambda: LRUPolicy(),
+        lambda: LRUKPolicy(k=2),
+    ])
+    def test_decisions_match_the_unwrapped_policy(self, make):
+        plain_ratio, plain_evictions = run(make())
+        profiled = ProfiledPolicy(make())
+        wrapped_ratio, wrapped_evictions = run(profiled)
+        assert wrapped_ratio == plain_ratio
+        assert wrapped_evictions == plain_evictions
+
+    def test_hook_counts_match_the_run(self):
+        profiled = ProfiledPolicy(LRUPolicy())
+        hit_ratio, evictions = run(profiled, references=2_000)
+        hits = profiled.profiles["on_hit"].count
+        admits = profiled.profiles["on_admit"].count
+        assert profiled.profiles["observe"].count == 2_000
+        assert hits + admits == 2_000
+        assert hit_ratio == pytest.approx(hits / 2_000)
+        assert profiled.profiles["choose_victim"].count == len(evictions)
+        assert profiled.profiles["on_evict"].count == len(evictions)
+
+    def test_report_covers_every_exercised_hook(self):
+        profiled = ProfiledPolicy(LRUKPolicy(k=2))
+        run(profiled)
+        report = profiled.report()
+        assert set(report) == set(PROFILED_HOOKS)
+        for summary in report.values():
+            assert summary["count"] > 0
+            assert 0.0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_wrapper_exposes_inner_surface(self):
+        inner = LRUKPolicy(k=2)
+        profiled = ProfiledPolicy(inner)
+        profiled.on_admit(1, 1)
+        assert 1 in profiled
+        assert len(profiled) == 1
+        assert profiled.resident_pages == frozenset({1})
+        # Policy-specific surface falls through to the wrapped instance.
+        assert profiled.backward_k_distance(1, 5) == float("inf")
+        assert profiled.stats is inner.stats
+
+    def test_reset_keeps_profiles(self):
+        profiled = ProfiledPolicy(LRUPolicy())
+        profiled.on_admit(1, 1)
+        profiled.reset()
+        assert len(profiled) == 0
+        assert profiled.profiles["on_admit"].count == 1

@@ -1,0 +1,125 @@
+"""Metrics registry and sliding-window recorder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    AccessEvent,
+    EventDispatcher,
+    HitRatioWindowRecorder,
+    MetricsRegistry,
+    RingBufferSink,
+    SlidingHitRatioWindow,
+    SnapshotEvent,
+)
+
+
+class TestRegistry:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("evictions")
+        counter.inc()
+        counter.inc(4)
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+        assert registry.snapshot()["evictions"] == 5.0
+
+    def test_counter_is_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_gauge_callable_tracks_live_object(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+        registry.gauge("live", lambda: state["value"])
+        state["value"] = 42
+        assert registry.snapshot()["live"] == 42.0
+
+    def test_set_on_callable_gauge_rejected(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            gauge.set(2)
+
+    def test_duplicate_names_rejected_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x", 0, 1)
+
+    def test_histogram_summary_in_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", 0.0, 100.0, bins=100)
+        for value in range(100):
+            histogram.observe(float(value))
+        snapshot = registry.snapshot()
+        assert snapshot["lat.count"] == 100.0
+        assert snapshot["lat.mean"] == pytest.approx(49.5)
+        assert snapshot["lat.p50"] == pytest.approx(50.0, abs=1.5)
+        assert snapshot["lat.p99"] == pytest.approx(99.0, abs=1.5)
+        assert "lat" in registry.names()
+
+
+class TestSlidingWindow:
+    def test_tracks_only_the_window(self):
+        window = SlidingHitRatioWindow(4)
+        for hit in (True, True, True, True):
+            window.record(hit)
+        assert window.hit_ratio == 1.0
+        for hit in (False, False, False, False):
+            window.record(hit)
+        assert window.hit_ratio == 0.0
+        assert window.count == 8
+        assert window.occupancy == 4
+
+    def test_partial_window_ratio(self):
+        window = SlidingHitRatioWindow(10)
+        window.record(True)
+        window.record(False)
+        assert window.hit_ratio == 0.5
+        window.reset()
+        assert window.hit_ratio == 0.0
+        assert window.count == 0
+
+    def test_eviction_of_hit_from_window_edge(self):
+        window = SlidingHitRatioWindow(2)
+        window.record(True)
+        window.record(False)
+        window.record(False)  # the True falls out
+        assert window.hit_ratio == 0.0
+
+
+class TestWindowRecorder:
+    def _access(self, t, hit):
+        return AccessEvent(time=t, page=1, hit=hit)
+
+    def test_samples_every_stride_and_reemits(self):
+        dispatcher = EventDispatcher()
+        ring = dispatcher.attach(RingBufferSink())
+        recorder = dispatcher.attach(
+            HitRatioWindowRecorder(dispatcher, window=4, stride=2))
+        pattern = [True, False, True, True, False, False]
+        for index, hit in enumerate(pattern, start=1):
+            dispatcher.emit(self._access(index, hit))
+        samples = ring.events("window")
+        assert [event.time for event in samples] == [2, 4, 6]
+        assert samples[0].hit_ratio == pytest.approx(0.5)   # T F
+        assert samples[1].hit_ratio == pytest.approx(0.75)  # T F T T
+        assert samples[2].hit_ratio == pytest.approx(0.5)   # T T F F
+        assert len(recorder.series) == 3
+
+    def test_start_snapshot_resets_the_window(self):
+        dispatcher = EventDispatcher()
+        ring = dispatcher.attach(RingBufferSink())
+        dispatcher.attach(
+            HitRatioWindowRecorder(dispatcher, window=4, stride=2))
+        for t in (1, 2):
+            dispatcher.emit(self._access(t, True))
+        dispatcher.emit(SnapshotEvent(time=0, phase="start", counters={}))
+        for t in (1, 2):
+            dispatcher.emit(self._access(t, False))
+        samples = ring.events("window")
+        assert samples[0].hit_ratio == 1.0   # pre-reset run
+        assert samples[1].hit_ratio == 0.0   # fresh window, not 0.5

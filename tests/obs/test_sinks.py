@@ -1,0 +1,108 @@
+"""File, ring-buffer, console, and timeline sinks."""
+
+import io
+import json
+
+from repro.obs import (
+    AccessEvent,
+    ConsoleProgressSink,
+    EventDispatcher,
+    EvictionEvent,
+    JsonlSink,
+    ProgressEvent,
+    RingBufferSink,
+    TimelineSink,
+    WindowEvent,
+)
+
+
+class TestJsonlSink:
+    def test_merges_context_and_parses_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        dispatcher = EventDispatcher()
+        dispatcher.attach(JsonlSink.open(str(path)))
+        with dispatcher.scoped(policy="LRU-2", capacity=100, seed=0):
+            dispatcher.emit(AccessEvent(time=1, page=5, hit=False))
+            dispatcher.emit(EvictionEvent(time=2, victim=5, dirty=True,
+                                          backward_k_distance=12.0,
+                                          history_informed=True))
+        dispatcher.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0]["policy"] == "LRU-2"
+        assert records[0]["capacity"] == 100
+        assert records[1]["event"] == "eviction"
+        assert records[1]["backward_k_distance"] == 12.0
+
+    def test_access_sampling_keeps_decision_events(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream, access_every=3)
+        for t in range(1, 10):  # 9 access events -> keep t=3,6,9
+            sink.handle(AccessEvent(time=t, page=t, hit=False), {})
+        sink.handle(EvictionEvent(time=10, victim=1), {})
+        records = [json.loads(line)
+                   for line in stream.getvalue().splitlines()]
+        times = [r["time"] for r in records if r["event"] == "access"]
+        assert times == [3, 6, 9]
+        assert records[-1]["event"] == "eviction"
+        assert sink.written == 4
+
+
+class TestRingBufferSink:
+    def test_bounded_retention(self):
+        ring = RingBufferSink(maxlen=3)
+        for t in range(1, 6):
+            ring.handle(AccessEvent(time=t, page=t, hit=False), {"seed": t})
+        assert len(ring) == 3
+        assert ring.maxlen == 3
+        assert [event.time for event in ring.events()] == [3, 4, 5]
+        event, context = ring.records()[0]
+        assert context == {"seed": 3}
+        ring.clear()
+        assert len(ring) == 0
+
+
+class TestConsoleProgressSink:
+    def test_prints_progress_only(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.handle(ProgressEvent(message="cell done"), {})
+        sink.handle(AccessEvent(time=1, page=1, hit=True), {})
+        assert stream.getvalue() == "  .. cell done\n"
+
+
+class TestTimelineSink:
+    def _window(self, t, ratio):
+        return WindowEvent(time=t, hit_ratio=ratio, window=10, count=10)
+
+    def test_renders_series_per_policy_at_largest_capacity(self):
+        timeline = TimelineSink()
+        for label, base in (("LRU-1", 0.2), ("LRU-2", 0.4)):
+            for capacity in (10, 50):
+                context = {"policy": label, "capacity": capacity, "seed": 0}
+                for t in (100, 200, 300):
+                    timeline.handle(self._window(t, base + t / 1000), context)
+        assert not timeline.empty
+        assert timeline.capacities() == [10, 50]
+        rendered = timeline.render()
+        assert "B=50" in rendered
+        assert "LRU-1" in rendered and "LRU-2" in rendered
+        assert "window hit ratio" in rendered
+
+    def test_empty_and_missing_capacity_messages(self):
+        timeline = TimelineSink()
+        assert "no window samples" in timeline.render()
+        timeline.handle(self._window(1, 0.5),
+                        {"policy": "LRU-2", "capacity": 10, "seed": 0})
+        assert "no samples at capacity 99" in timeline.render(capacity=99)
+
+    def test_series_with_uneven_lengths_align(self):
+        timeline = TimelineSink()
+        for t in (100, 200, 300):
+            timeline.handle(self._window(t, 0.3),
+                            {"policy": "LRU-1", "capacity": 10, "seed": 0})
+        for t in (100, 200):
+            timeline.handle(self._window(t, 0.6),
+                            {"policy": "LRU-2", "capacity": 10, "seed": 0})
+        rendered = timeline.render()
+        assert "t: 100 .. 200" in rendered

@@ -65,3 +65,56 @@ class TestResidencyAndAge:
         collector = MetricsCollector()
         assert collector.hit_ratio == 0.0
         assert collector.summary()["references"] == 0.0
+
+
+class TestEdgeCases:
+    def test_zero_reference_run_is_all_zeros(self):
+        collector = MetricsCollector()
+        summary = collector.summary()
+        assert all(value == 0.0 for value in summary.values())
+        assert collector.misses.capacity_fraction() == 0.0
+        assert collector.residency_histogram.total == 0
+        assert collector.residency_histogram.fraction_at_most(100) == 0.0
+
+    def test_readmission_cycles_stay_capacity_misses(self):
+        # Three pages cycling through a 2-frame cache: after the first
+        # lap every miss re-admits a previously evicted page.
+        collector = collect([1, 2, 3, 1, 2, 3], capacity=2)
+        assert collector.misses.compulsory == 3
+        assert collector.misses.capacity == 3
+        assert collector.hits == 0
+        assert collector.misses.capacity_fraction() == pytest.approx(0.5)
+
+    def test_readmitted_page_restarts_its_residency_clock(self):
+        # 1 admitted t=1, evicted t=3, readmitted t=4, evicted t=6:
+        # two residency samples of 2 each, not one of 5.
+        collector = collect([1, 2, 3, 1, 2, 3], capacity=2)
+        assert collector.residency.count == 4
+        first_two = collect([1, 2, 3], capacity=2)
+        assert first_two.residency.mean == pytest.approx(2.0)
+
+    def test_hit_after_readmission_counts_as_hit(self):
+        collector = collect([1, 2, 3, 1, 1], capacity=2)
+        assert collector.hits == 1
+        assert collector.misses.compulsory == 3
+        assert collector.misses.capacity == 1
+
+    def test_residency_histogram_bucket_boundaries(self):
+        # capacity=2; page 1 is LRU when 2 arrives at t=5, so its
+        # residency is 5-1=4 -> the [4,7] geometric bucket, while the
+        # short-lived filler pages land in lower buckets.
+        collector = collect([1, 9, 9, 9, 2], capacity=2)
+        buckets = {(low, high): count for low, high, count
+                   in collector.residency_histogram.buckets()}
+        assert buckets[(4, 7)] == 1
+
+    def test_histogram_power_of_two_edges_and_zero_bucket(self):
+        # Direct boundary probes: 2**k starts a new bucket; 0 is its own.
+        histogram = collect([], capacity=1).residency_histogram
+        for interval in (0, 1, 2, 3, 4, 7, 8):
+            histogram.add(interval)
+        assert histogram.zero_count == 1
+        buckets = {(low, high): count for low, high, count
+                   in histogram.buckets()}
+        assert buckets == {(1, 1): 1, (2, 3): 2, (4, 7): 2, (8, 15): 1}
+        assert histogram.total == 7

@@ -27,7 +27,7 @@ class TestTopLevelApi:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.policies", "repro.buffer", "repro.storage",
         "repro.db", "repro.workloads", "repro.sim", "repro.analysis",
-        "repro.stats", "repro.experiments", "repro.cli",
+        "repro.stats", "repro.experiments", "repro.cli", "repro.obs",
     ])
     def test_every_package_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -37,7 +37,7 @@ class TestTopLevelApi:
         for module_name in ("repro.core", "repro.policies", "repro.buffer",
                             "repro.storage", "repro.db", "repro.workloads",
                             "repro.sim", "repro.analysis", "repro.stats",
-                            "repro.experiments"):
+                            "repro.experiments", "repro.obs"):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert getattr(module, name, None) is not None, (
