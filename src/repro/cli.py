@@ -20,6 +20,11 @@ and ``--timeline`` (render an ASCII chart of windowed hit ratio over
 logical time after the table). Progress narration is itself an event
 stream: ``--quiet`` just leaves the console sink unattached, so it
 silences tables, ablations, and trace-stats uniformly.
+
+Parallelism: ``--jobs N`` fans the sweep grid over N worker processes
+(:mod:`repro.sim.parallel`); results are identical to a serial run, and
+progress still narrates one line per completed cell. See
+docs/performance.md for the engine's observability trade-offs.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ from .obs import (
     TimelineSink,
 )
 from .obs import runtime as obs_runtime
-from .sim import run_experiment
+from .sim import default_jobs, run_experiment
 from .workloads import BankOLTPWorkload
 from .workloads.oltp import FIVE_MINUTE_WINDOW_REFERENCES, PAPER_TRACE_LENGTH
 
@@ -111,7 +116,8 @@ def _progress_to(dispatcher: EventDispatcher):
 
 def _run_table(number: str, scale: float, repetitions: Optional[int],
                quiet: bool, compare: bool, chart: bool,
-               metrics_out: Optional[str], timeline: bool) -> int:
+               metrics_out: Optional[str], timeline: bool,
+               jobs: int = 1) -> int:
     builders = {
         "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
         "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
@@ -122,7 +128,7 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
     spec = builder(scale=scale, repetitions=reps)
     with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
         result = run_experiment(spec, progress=_progress_to(obs),
-                                observability=obs)
+                                observability=obs, jobs=jobs)
         if compare:
             print(comparison_table(result, paper_rows).render())
         else:
@@ -154,7 +160,8 @@ def _run_trace_stats(scale: float, quiet: bool) -> int:
 
 
 def _run_ablation(name: str, quiet: bool,
-                  metrics_out: Optional[str], timeline: bool) -> int:
+                  metrics_out: Optional[str], timeline: bool,
+                  jobs: int = 1) -> int:
     try:
         ablation = ABLATIONS[name]
     except KeyError:
@@ -163,7 +170,10 @@ def _run_ablation(name: str, quiet: bool,
         return 2
     with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
         _progress_to(obs)(f"running ablation {name} ...")
-        print(ablation().render())
+        # Ablations build their sweeps internally; the ambient default
+        # routes --jobs to any sweep_buffer_sizes call below.
+        with default_jobs(jobs):
+            print(ablation().render())
         if timeline_sink is not None:
             print()
             print(timeline_sink.render())
@@ -192,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
         command_parser.add_argument(
             "--timeline", action="store_true",
             help="render a windowed hit-ratio timeline after the output")
+        command_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the sweep grid (default 1 = serial; "
+                 "results are identical either way)")
 
     for number in ("4.1", "4.2", "4.3"):
         table = sub.add_parser(f"table{number}",
@@ -245,7 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace_stats(args.scale, args.quiet)
     if args.command == "ablation":
         return _run_ablation(args.name, args.quiet,
-                             args.metrics_out, args.timeline)
+                             args.metrics_out, args.timeline,
+                             jobs=args.jobs)
     if args.command == "report":
         from .experiments.report import generate_report
         with _observability(args.quiet) as (obs, _):
@@ -264,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     number = args.command.removeprefix("table")
     return _run_table(number, args.scale, args.repetitions,
                       args.quiet, args.compare, args.chart,
-                      args.metrics_out, args.timeline)
+                      args.metrics_out, args.timeline, jobs=args.jobs)
 
 
 if __name__ == "__main__":

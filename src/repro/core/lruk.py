@@ -58,6 +58,11 @@ from ..policies.base import NO_EXCLUSIONS, ReplacementPolicy, register_policy_fa
 from ..types import PageId
 from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
 
+#: Lazy-heap compaction slack: the heap is rebuilt from live resident
+#: entries once stale entries exceed ~2x the live population plus this
+#: constant (which keeps tiny buffers from compacting constantly).
+HEAP_COMPACT_SLACK = 64
+
 
 @dataclass
 class LRUKStats:
@@ -69,6 +74,7 @@ class LRUKStats:
     evictions: int = 0
     infinite_distance_evictions: int = 0
     forced_evictions: int = 0
+    heap_compactions: int = 0
 
     @property
     def history_informed_evictions(self) -> int:
@@ -127,6 +133,10 @@ class LRUKPolicy(ReplacementPolicy):
         # from the same process as the page's previous reference
         # (inter-process re-references — pair type (4) — stay independent).
         self.distinguish_processes = distinguish_processes
+        # observe() only stashes the issuing process id; on metadata-free
+        # streams there is nothing to stash, so drivers' fast paths may
+        # skip the hook unless process-aware correlation is on.
+        self.observe_optional = not distinguish_processes
         self._last_process: Dict[PageId, Optional[int]] = {}
         self._current_process: Optional[int] = None
         self.history = HistoryStore(
@@ -318,7 +328,26 @@ class LRUKPolicy(ReplacementPolicy):
     # -- internals ------------------------------------------------------------------
 
     def _push(self, page: PageId, block: HistoryBlock) -> None:
-        heapq.heappush(self._heap, (block.kth_time(), block.hist[0], page))
+        heap = self._heap
+        heapq.heappush(heap, (block.kth_time(), block.hist[0], page))
+        # Every uncorrelated re-reference supersedes a page's previous
+        # heap entry, so stale entries accumulate one per reference and
+        # the heap would grow without bound on long runs. Rebuild from
+        # the live resident set once stale entries dominate.
+        if len(heap) > 2 * len(self._resident) + HEAP_COMPACT_SLACK:
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Rebuild the lazy victim heap with one fresh entry per resident page."""
+        get = self.history.get
+        heap: List[Tuple[int, int, PageId]] = []
+        for page in self._resident:
+            block = get(page)
+            if block is not None:
+                heap.append((block.kth_time(), block.hist[0], page))
+        heapq.heapify(heap)
+        self._heap = heap
+        self.stats.heap_compactions += 1
 
     def _after_touch(self, page: PageId, block: HistoryBlock) -> None:
         purged = self.history.touch(page, self._resident.__contains__)

@@ -37,6 +37,9 @@ class Sink:
     def close(self) -> None:
         """Release any resources (files); idempotent."""
 
+    def flush(self) -> None:
+        """Push any buffered output downstream; default no-op."""
+
 
 class CallbackSink(Sink):
     """Adapt a plain ``fn(event, context)`` callable into a sink."""
@@ -84,6 +87,15 @@ class EventDispatcher:
         sinks, self._sinks = self._sinks, []
         for sink in sinks:
             sink.close()
+
+    def flush(self) -> None:
+        """Flush every sink that buffers output (file sinks).
+
+        The parallel sweep engine calls this before forking workers so
+        no child inherits buffered-but-unwritten output.
+        """
+        for sink in tuple(self._sinks):
+            sink.flush()
 
     # -- emission ----------------------------------------------------------------
 

@@ -41,6 +41,19 @@ def resolve(explicit: Optional[EventDispatcher]) -> Optional[EventDispatcher]:
     return explicit if explicit is not None else _active
 
 
+def deactivate() -> None:
+    """Clear the ambient dispatcher unconditionally.
+
+    Forked worker processes inherit the parent's ambient dispatcher —
+    and with it open file sinks that must only be written from the
+    parent — so the parallel sweep engine clears it as the first act of
+    every worker task. Not for use in normal (single-process) flow;
+    there, :func:`activate`'s scoped restore is the right tool.
+    """
+    global _active
+    _active = None
+
+
 @contextmanager
 def activate(dispatcher: EventDispatcher) -> Iterator[EventDispatcher]:
     """Make ``dispatcher`` ambient for the extent of the ``with`` block."""

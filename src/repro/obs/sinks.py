@@ -65,6 +65,9 @@ class JsonlSink(Sink):
         self._stream.write("\n")
         self.written += 1
 
+    def flush(self) -> None:
+        self._stream.flush()
+
     def close(self) -> None:
         if self._close_stream and not self._stream.closed:
             self._stream.close()

@@ -9,6 +9,8 @@ from .runner import (
     run_paper_protocol,
 )
 from .equi_effective import equi_effective_buffer_size, equi_effective_ratio
+from .trace_cache import CachedTrace, TraceCache
+from .parallel import default_jobs, fork_available, run_grid, suggested_jobs
 from .sweep import SweepCell, sweep_buffer_sizes
 from .experiment import ExperimentResult, ExperimentSpec, run_experiment
 from .tables import format_table, Table
@@ -24,6 +26,12 @@ __all__ = [
     "run_paper_protocol",
     "equi_effective_buffer_size",
     "equi_effective_ratio",
+    "CachedTrace",
+    "TraceCache",
+    "default_jobs",
+    "fork_available",
+    "run_grid",
+    "suggested_jobs",
     "SweepCell",
     "sweep_buffer_sizes",
     "ExperimentResult",

@@ -54,6 +54,14 @@ class CacheSimulator:
             raise ConfigurationError("buffer capacity must be positive")
         self.policy = policy
         self.capacity = capacity
+        # The fast integer path may skip the observe() hook: the base
+        # implementation is a no-op, and policies whose override only
+        # consumes metadata that bare-page-id streams cannot carry opt
+        # out via ``observe_optional`` (LRU-K does, unless it is
+        # distinguishing processes).
+        self._wants_observe = (
+            type(policy).observe is not ReplacementPolicy.observe
+            and not getattr(policy, "observe_optional", False))
         self._obs = obs_runtime.resolve(observability)
         if self._obs is not None and hasattr(policy, "bind_observability"):
             policy.bind_observability(self._obs)
@@ -116,7 +124,43 @@ class CacheSimulator:
                                  write=ref.is_write))
         return outcome
 
-    def _evict(self, victim: PageId, t: int, outcome: AccessOutcome) -> None:
+    def access_page(self, page: PageId) -> bool:
+        """Fast integer path: process one plain read reference.
+
+        Behaviourally identical to ``access(page)`` for a metadata-free
+        read, but skips the :func:`~repro.types.as_reference` isinstance
+        dispatch, the :class:`~repro.types.AccessOutcome` allocation,
+        and (when the policy permits) the ``observe`` hook. Returns
+        whether the access hit. Pre-normalized streams — the compact
+        page-id form of :class:`repro.sim.trace_cache.CachedTrace` —
+        are driven through here by :func:`repro.sim.measure_hit_ratio`.
+        """
+        if self.eviction_log is not None:
+            # The eviction log records full outcomes; take the slow path.
+            return self.access(page).hit
+        t = self.clock.tick()
+        policy = self.policy
+        if self._wants_observe:
+            policy.observe(Reference(page=page), t)
+        resident = self._resident
+        if page in resident:
+            hit = True
+            policy.on_hit(page, t)
+        else:
+            hit = False
+            if len(resident) >= self.capacity:
+                self._evict(policy.choose_victim(t, incoming=page), t)
+            policy.on_admit(page, t)
+            resident[page] = False
+            self._admitted_at[page] = t
+        self.counter.record(hit)
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            obs.emit(AccessEvent(time=t, page=page, hit=hit, write=False))
+        return hit
+
+    def _evict(self, victim: PageId, t: int,
+               outcome: Optional[AccessOutcome] = None) -> None:
         dirty = self._resident.pop(victim)
         admitted = self._admitted_at.pop(victim)
         obs = self._obs
@@ -127,14 +171,16 @@ class CacheSimulator:
                                    history_informed=informed))
         self.policy.on_evict(victim, t)
         self.evictions += 1
-        outcome.evicted = victim
-        outcome.evicted_dirty = dirty
         if dirty:
             self.writebacks += 1
-        if self.eviction_log is not None:
-            self.eviction_log.append(
-                AccessOutcome(reference=outcome.reference, time=t, hit=False,
-                              evicted=victim, evicted_dirty=dirty))
+        if outcome is not None:
+            outcome.evicted = victim
+            outcome.evicted_dirty = dirty
+            if self.eviction_log is not None:
+                self.eviction_log.append(
+                    AccessOutcome(reference=outcome.reference, time=t,
+                                  hit=False, evicted=victim,
+                                  evicted_dirty=dirty))
         del admitted  # retained only for residency-duration analyses
 
     def set_capacity(self, capacity: int) -> None:

@@ -21,6 +21,7 @@ from .equi_effective import equi_effective_buffer_size
 from .runner import PolicySpec, run_paper_protocol
 from .sweep import SweepCell, sweep_buffer_sizes
 from .tables import Table
+from .trace_cache import TraceCache
 
 
 @dataclass
@@ -95,14 +96,22 @@ class ExperimentResult:
 
 def run_experiment(spec: ExperimentSpec,
                    progress: Optional[Callable[[str], None]] = None,
-                   observability: Optional[EventDispatcher] = None
+                   observability: Optional[EventDispatcher] = None,
+                   jobs: Optional[int] = None
                    ) -> ExperimentResult:
-    """Execute a spec: sweep all cells, then derive B(1)/B(2) per row."""
+    """Execute a spec: sweep all cells, then derive B(1)/B(2) per row.
+
+    One trace cache backs the whole experiment: the sweep grid and every
+    equi-effective probe replay the same materialized reference strings.
+    ``jobs`` (or the ambient :func:`repro.sim.parallel.default_jobs`)
+    fans the sweep grid out over worker processes.
+    """
+    trace_cache = TraceCache()
     cells = sweep_buffer_sizes(
         spec.workload, spec.policies, spec.capacities,
         warmup=spec.warmup, measured=spec.measured,
         seed=spec.seed, repetitions=spec.repetitions, progress=progress,
-        observability=observability)
+        observability=observability, jobs=jobs, trace_cache=trace_cache)
     result = ExperimentResult(spec=spec, cells=cells)
     if spec.equi_effective is not None:
         baseline_label, improved_label = spec.equi_effective
@@ -120,7 +129,7 @@ def run_experiment(spec: ExperimentSpec,
                     spec.workload, baseline_spec, capacity,
                     spec.warmup, spec.measured,
                     seed=spec.seed, repetitions=spec.repetitions,
-                    observability=observability)
+                    observability=observability, trace_cache=trace_cache)
                 cache[capacity] = run.hit_ratio
             return cache[capacity]
 

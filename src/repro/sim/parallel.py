@@ -1,0 +1,225 @@
+"""Parallel sweep engine: fan the (policy, capacity) grid over processes.
+
+The paper's evaluation (Section 4.1) is a grid of independent cells —
+each a pure function of (workload spec, policy spec, buffer size, seed).
+:func:`run_grid` executes that grid on a ``ProcessPoolExecutor`` and
+merges the results deterministically, so a parallel sweep returns
+*bit-identical* :class:`~repro.sim.runner.ProtocolResult` objects to a
+serial one (property-tested in ``tests/sim/test_parallel.py``).
+
+Policy specs hold closures, which do not pickle; the engine therefore
+requires the ``fork`` start method (standard on Linux): the grid inputs
+— workload, specs, and a :class:`~repro.sim.trace_cache.TraceCache`
+pre-warmed with every run seed's reference string — are published in a
+module-level registry *before* the pool forks, and workers inherit them
+copy-on-write. Each task submission then carries only three small
+integers. Every seed's trace is materialized exactly once, in the
+parent, and shared read-only by all workers; no worker regenerates a
+reference string. On platforms without ``fork`` the engine degrades to
+in-process execution with the same shared cache.
+
+Workers run unobserved: the parent's ambient event dispatcher (and its
+file sinks) must not be written from forked children, so the first thing
+a worker task does is clear the inherited ambient dispatcher. Progress
+is instead narrated from the parent — one line per *completed* cell, in
+completion order, through the usual ``progress`` callback or as
+:class:`~repro.obs.events.ProgressEvent`s on the dispatcher — so
+``--timeline``/``--quiet`` behave under ``--jobs N`` exactly as in
+serial mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..obs import runtime as obs_runtime
+from ..obs.dispatcher import EventDispatcher
+from ..obs.events import ProgressEvent
+from ..workloads.base import Workload
+from .runner import PolicySpec, ProtocolResult, run_paper_protocol
+from .trace_cache import TraceCache
+
+#: A grid result: {(capacity, policy label): ProtocolResult}.
+GridResults = Dict[Tuple[int, str], ProtocolResult]
+
+# -- job-count resolution ------------------------------------------------------
+
+_default_jobs = 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """An explicit job count if given, else the ambient default (1)."""
+    if jobs is None:
+        return _default_jobs
+    if jobs <= 0:
+        raise ConfigurationError("jobs must be a positive integer (or None)")
+    return jobs
+
+
+@contextmanager
+def default_jobs(jobs: int) -> Iterator[int]:
+    """Ambiently set the sweep job count for a dynamic extent.
+
+    Mirrors :func:`repro.obs.runtime.activate`: code many layers below
+    the CLI (ablation functions, report generation) runs sweeps without
+    a ``jobs`` parameter; activating a default here parallelizes them
+    without rewriting every call site.
+    """
+    global _default_jobs
+    if jobs <= 0:
+        raise ConfigurationError("jobs must be a positive integer")
+    previous = _default_jobs
+    _default_jobs = jobs
+    try:
+        yield jobs
+    finally:
+        _default_jobs = previous
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- fork-shared grid state ----------------------------------------------------
+
+
+@dataclass
+class _SweepJob:
+    """Everything a worker needs, published pre-fork."""
+
+    workload: Workload
+    specs: Sequence[PolicySpec]
+    warmup: int
+    measured: int
+    seed: int
+    repetitions: int
+    trace_cache: TraceCache
+
+
+#: Jobs visible to forked workers; keyed by a monotonically increasing id
+#: so overlapping grids (nested sweeps) cannot collide.
+_SHARED: Dict[int, _SweepJob] = {}
+_next_job_id = 0
+
+
+def _run_cell(job_id: int, spec_index: int,
+              capacity: int) -> ProtocolResult:
+    """Worker task: one (policy, capacity) cell of the grid."""
+    # Forked workers inherit the parent's ambient dispatcher and its
+    # open file sinks; emitting through them from many processes would
+    # interleave corrupt output, so workers run unobserved.
+    obs_runtime.deactivate()
+    job = _SHARED[job_id]
+    return run_paper_protocol(
+        job.workload, job.specs[spec_index], capacity,
+        job.warmup, job.measured, seed=job.seed,
+        repetitions=job.repetitions, observability=None,
+        trace_cache=job.trace_cache)
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+def _narrate(line: str,
+             progress: Optional[Callable[[str], None]],
+             observability: Optional[EventDispatcher]) -> None:
+    """Progress via the callback when given, else the event dispatcher."""
+    if progress is not None:
+        progress(line)
+        return
+    obs = obs_runtime.resolve(observability)
+    if obs is not None and obs.active:
+        obs.emit(ProgressEvent(message=line))
+
+
+def _cell_line(capacity: int, label: str, result: ProtocolResult) -> str:
+    """The per-cell progress line (same format as the serial sweep)."""
+    return f"B={capacity:<6d} {label:<8s} C={result.hit_ratio:.4f}"
+
+
+def run_grid(workload: Workload,
+             specs: Sequence[PolicySpec],
+             capacities: Sequence[int],
+             warmup: int,
+             measured: int,
+             seed: int = 0,
+             repetitions: int = 1,
+             jobs: int = 2,
+             trace_cache: Optional[TraceCache] = None,
+             progress: Optional[Callable[[str], None]] = None,
+             observability: Optional[EventDispatcher] = None
+             ) -> GridResults:
+    """Run every (policy, capacity) cell of a grid, ``jobs`` at a time.
+
+    Returns ``{(capacity, label): ProtocolResult}`` — an order-free shape
+    the caller assembles into its own row structure, making the merge
+    deterministic regardless of completion order. Falls back to
+    in-process execution (still sharing one trace cache) when process
+    parallelism is unavailable.
+    """
+    global _next_job_id
+    cache = trace_cache if trace_cache is not None else TraceCache()
+    total = warmup + measured
+    # Materialize every run seed's trace once, pre-fork: workers inherit
+    # the compact arrays copy-on-write instead of regenerating them.
+    for repetition in range(repetitions):
+        cache.get(workload, total, seed + repetition)
+
+    order = [(capacity, index) for capacity in capacities
+             for index in range(len(specs))]
+    results: GridResults = {}
+
+    if jobs <= 1 or not fork_available() or len(order) <= 1:
+        for capacity, index in order:
+            spec = specs[index]
+            result = run_paper_protocol(
+                workload, spec, capacity, warmup, measured, seed=seed,
+                repetitions=repetitions, observability=observability,
+                trace_cache=cache)
+            results[(capacity, spec.label)] = result
+            _narrate(_cell_line(capacity, spec.label, result),
+                     progress, observability)
+        return results
+
+    job = _SweepJob(workload=workload, specs=specs, warmup=warmup,
+                    measured=measured, seed=seed, repetitions=repetitions,
+                    trace_cache=cache)
+    job_id = _next_job_id
+    _next_job_id += 1
+    _SHARED[job_id] = job
+    # Flush the parent's sinks before forking: a child inheriting
+    # buffered-but-unwritten file output would duplicate it at exit.
+    obs = obs_runtime.resolve(observability)
+    if obs is not None:
+        obs.flush()
+    context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(order)),
+                                 mp_context=context) as pool:
+            pending = {
+                pool.submit(_run_cell, job_id, index, capacity):
+                    (capacity, specs[index].label)
+                for capacity, index in order}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    capacity, label = pending.pop(future)
+                    result = future.result()
+                    results[(capacity, label)] = result
+                    _narrate(_cell_line(capacity, label, result),
+                             progress, observability)
+    finally:
+        _SHARED.pop(job_id, None)
+    return results
+
+
+def suggested_jobs() -> int:
+    """A sensible ``--jobs`` default for this machine (all cores)."""
+    return max(1, os.cpu_count() or 1)

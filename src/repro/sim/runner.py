@@ -27,6 +27,7 @@ from ..stats import ConfidenceInterval, mean_confidence_interval
 from ..types import PageId, Reference
 from ..workloads.base import Workload
 from .cache import CacheSimulator
+from .trace_cache import CachedTrace, TraceCache, TraceLike
 
 
 @dataclass
@@ -35,7 +36,9 @@ class RunContext:
 
     capacity: int
     workload: Optional[Workload] = None
-    trace: Optional[List[PageId]] = None
+    #: The materialized page-id string (oracles read their future from
+    #: here). Shared with the trace cache — treat as read-only.
+    trace: Optional[Sequence[PageId]] = None
 
 
 #: A policy factory: receives the run context, returns a fresh policy.
@@ -155,12 +158,17 @@ def _snapshot_counters(simulator: CacheSimulator) -> dict:
 
 
 def measure_hit_ratio(policy: ReplacementPolicy,
-                      references: Sequence[Reference],
+                      references: TraceLike,
                       capacity: int,
                       warmup: int,
                       observability: Optional[EventDispatcher] = None
                       ) -> CacheSimulator:
     """Drive one policy over a reference string with a warm-up boundary.
+
+    ``references`` is either a sequence of :class:`~repro.types.Reference`
+    objects or a :class:`~repro.sim.trace_cache.CachedTrace`; plain cached
+    traces are driven through the simulator's fast integer path
+    (:meth:`CacheSimulator.access_page`), which is decision-identical.
 
     Returns the simulator so callers can pull any statistic; the hit ratio
     of the measurement window is ``simulator.hit_ratio``. When an event
@@ -182,17 +190,31 @@ def measure_hit_ratio(policy: ReplacementPolicy,
                                          "references": float(
                                              len(references)),
                                          "warmup": float(warmup)}))
-    for index, reference in enumerate(references):
-        if index == warmup:
-            if observing:
-                # Emitted before the counter reset so this snapshot
-                # carries the warm-up window's totals.
-                obs.emit(SnapshotEvent(time=simulator.now,
-                                       phase="measurement",
-                                       counters=_snapshot_counters(
-                                           simulator)))
-            simulator.start_measurement()
-        simulator.access(reference)
+
+    def at_measurement_boundary() -> None:
+        if observing:
+            # Emitted before the counter reset so this snapshot
+            # carries the warm-up window's totals.
+            obs.emit(SnapshotEvent(time=simulator.now, phase="measurement",
+                                   counters=_snapshot_counters(simulator)))
+        simulator.start_measurement()
+
+    if isinstance(references, CachedTrace) and references.plain:
+        # Pre-normalized stream: bare page ids through the fast path.
+        pages = references.page_ids()
+        access_page = simulator.access_page
+        for page in pages[:warmup]:
+            access_page(page)
+        at_measurement_boundary()
+        for page in pages[warmup:]:
+            access_page(page)
+    else:
+        if isinstance(references, CachedTrace):
+            references = references.references()
+        for index, reference in enumerate(references):
+            if index == warmup:
+                at_measurement_boundary()
+            simulator.access(reference)
     if observing:
         obs.emit(SnapshotEvent(time=simulator.now, phase="end",
                                counters=_snapshot_counters(simulator)))
@@ -221,9 +243,17 @@ def run_paper_protocol(workload: Workload,
                        measured: int,
                        seed: int = 0,
                        repetitions: int = 1,
-                       observability: Optional[EventDispatcher] = None
+                       observability: Optional[EventDispatcher] = None,
+                       trace_cache: Optional[TraceCache] = None
                        ) -> ProtocolResult:
     """Warm up, measure, repeat over seeds, and average — Section 4.1 style.
+
+    ``trace_cache`` shares materialized reference strings across calls:
+    a sweep passes one cache so every (policy, capacity) cell replays
+    the identical trace without regenerating it, and oracle policies
+    read their future from the same array instead of a private copy.
+    Without a cache the trace is still materialized only once per
+    repetition and shared with the oracle.
 
     Events emitted during each run are tagged with
     ``policy``/``capacity``/``seed`` context so downstream sinks can
@@ -236,18 +266,21 @@ def run_paper_protocol(workload: Workload,
     runs: List[RunResult] = []
     for repetition in range(repetitions):
         run_seed = seed + repetition
-        references = list(workload.references(total, seed=run_seed))
+        if trace_cache is not None:
+            trace = trace_cache.get(workload, total, run_seed)
+        else:
+            trace = CachedTrace.materialize(workload, total, run_seed)
         context = RunContext(capacity=capacity, workload=workload)
         if spec.needs_trace:
-            context.trace = [ref.page for ref in references]
+            context.trace = trace.page_ids()
         policy = spec.build(context)
         if obs is not None:
             with obs.scoped(policy=spec.label, capacity=capacity,
                             seed=run_seed):
-                simulator = measure_hit_ratio(policy, references, capacity,
+                simulator = measure_hit_ratio(policy, trace, capacity,
                                               warmup, observability=obs)
         else:
-            simulator = measure_hit_ratio(policy, references, capacity,
+            simulator = measure_hit_ratio(policy, trace, capacity,
                                           warmup)
         warmup_ratio = (simulator.warmup_counter.hit_ratio
                         if simulator.warmup_counter else 0.0)

@@ -9,7 +9,9 @@ from ..errors import ConfigurationError
 from ..obs.dispatcher import EventDispatcher
 from ..stats import ConfidenceInterval
 from ..workloads.base import Workload
+from . import parallel
 from .runner import PolicySpec, ProtocolResult, run_paper_protocol
+from .trace_cache import TraceCache
 
 
 @dataclass
@@ -36,12 +38,27 @@ def sweep_buffer_sizes(workload: Workload,
                        seed: int = 0,
                        repetitions: int = 1,
                        progress: Optional[callable] = None,
-                       observability: Optional[EventDispatcher] = None
+                       observability: Optional[EventDispatcher] = None,
+                       jobs: Optional[int] = None,
+                       trace_cache: Optional[TraceCache] = None
                        ) -> List[SweepCell]:
     """Run every (policy, capacity) cell of a table.
 
+    All cells share one :class:`~repro.sim.trace_cache.TraceCache`, so
+    each seed's reference string is materialized exactly once for the
+    whole sweep (pass ``trace_cache`` to extend the sharing further,
+    e.g. to equi-effective probes).
+
+    ``jobs`` fans the grid out over that many worker processes via
+    :mod:`repro.sim.parallel`; ``None`` uses the ambient default set by
+    :func:`repro.sim.parallel.default_jobs` (1 — serial — unless the CLI
+    was invoked with ``--jobs``). Results are merged deterministically:
+    a parallel sweep returns cells equal to a serial one.
+
     ``progress``, when given, is called with a human-readable string after
-    each cell — the CLI uses it for live feedback on long sweeps.
+    each cell — the CLI uses it for live feedback on long sweeps. Under
+    ``jobs > 1`` the lines arrive in completion order rather than grid
+    order.
     """
     if not specs:
         raise ConfigurationError("sweep needs at least one policy")
@@ -51,6 +68,20 @@ def sweep_buffer_sizes(workload: Workload,
     if len(set(labels)) != len(labels):
         raise ConfigurationError(f"duplicate policy labels: {labels}")
 
+    jobs = parallel.resolve_jobs(jobs)
+    cache = trace_cache if trace_cache is not None else TraceCache()
+
+    if jobs > 1:
+        grid = parallel.run_grid(
+            workload, specs, capacities, warmup, measured,
+            seed=seed, repetitions=repetitions, jobs=jobs,
+            trace_cache=cache, progress=progress,
+            observability=observability)
+        return [SweepCell(capacity=capacity,
+                          results={spec.label: grid[(capacity, spec.label)]
+                                   for spec in specs})
+                for capacity in capacities]
+
     cells: List[SweepCell] = []
     for capacity in capacities:
         cell = SweepCell(capacity=capacity)
@@ -58,7 +89,7 @@ def sweep_buffer_sizes(workload: Workload,
             result = run_paper_protocol(
                 workload, spec, capacity, warmup, measured,
                 seed=seed, repetitions=repetitions,
-                observability=observability)
+                observability=observability, trace_cache=cache)
             cell.results[spec.label] = result
             if progress is not None:
                 progress(f"B={capacity:<6d} {spec.label:<8s} "

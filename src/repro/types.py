@@ -35,7 +35,7 @@ class AccessKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reference:
     """One element of a page reference string.
 
@@ -84,7 +84,7 @@ def reference_stream(items: Iterable["Reference | PageId"]) -> Iterator[Referenc
         yield as_reference(item)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """The simulator's verdict for a single reference.
 

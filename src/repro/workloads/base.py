@@ -10,10 +10,11 @@ oracle (Definition 3.1) and the Section 3 Bayesian analysis consume.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterator, List, Optional, Sequence
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import OracleError
-from ..types import PageId, Reference
+from ..types import AccessKind, PageId, Reference
 
 
 class Workload(abc.ABC):
@@ -90,3 +91,23 @@ def materialize(workload: Workload, count: int,
                 seed: int = 0) -> List[Reference]:
     """Fully expand a workload into a list (needed by the Belady oracle)."""
     return list(workload.references(count, seed))
+
+
+def compact_reference_pages(
+        references: Iterable[Reference]) -> Optional[array]:
+    """Compact a reference stream to an ``array('q')`` of page ids.
+
+    Returns the array only when every reference is *plain* — a read with
+    no process/transaction annotation — so that the page id alone
+    reconstructs the reference exactly. Streams carrying writes or
+    process ids (the OLTP trace) return None and must stay as full
+    :class:`~repro.types.Reference` sequences.
+    """
+    pages = array("q")
+    append = pages.append
+    for ref in references:
+        if (ref.kind is not AccessKind.READ or ref.process_id is not None
+                or ref.txn_id is not None):
+            return None
+        append(ref.page)
+    return pages
