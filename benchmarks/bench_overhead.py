@@ -130,6 +130,12 @@ def _json_artifact_path() -> str:
     return os.environ.get("REPRO_BENCH_JSON", default)
 
 
+#: Schema version stamped into every BENCH_*.json payload, so trend
+#: tooling comparing artifacts across commits can detect shape changes
+#: instead of mis-joining fields. Bump when a payload's keys change.
+BENCH_JSON_VERSION = 2
+
+
 def _merge_json_artifact(payload: dict) -> None:
     """Merge a result block into the JSON artifact (bench order agnostic)."""
     path = _json_artifact_path()
@@ -141,6 +147,7 @@ def _merge_json_artifact(payload: dict) -> None:
         except (OSError, ValueError):
             record = {}
     record.update(payload)
+    record["version"] = BENCH_JSON_VERSION
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

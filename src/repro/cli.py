@@ -55,7 +55,11 @@ from .obs import (
     TimelineSink,
 )
 from .obs import runtime as obs_runtime
-from .sim import default_jobs, run_experiment
+from .obs import trace as obs_trace
+from .obs.registry import MetricsRegistry
+from .obs.trace import Tracer, write_chrome_trace
+from .sim import default_jobs, explain_eviction, run_experiment
+from .sim.explain import EXPLAIN_WORKLOADS
 from .workloads import BankOLTPWorkload
 from .workloads.oltp import FIVE_MINUTE_WINDOW_REFERENCES, PAPER_TRACE_LENGTH
 
@@ -73,7 +77,8 @@ METRICS_STRIDE = 250
 @contextmanager
 def _observability(quiet: bool,
                    metrics_out: Optional[str] = None,
-                   timeline: bool = False
+                   timeline: bool = False,
+                   trace_out: Optional[str] = None
                    ) -> Iterator[Tuple[EventDispatcher,
                                        Optional[TimelineSink]]]:
     """Build, activate, and tear down the command's event dispatcher.
@@ -82,6 +87,10 @@ def _observability(quiet: bool,
     simulators built anywhere below — including inside ablation
     functions that never see a parameter — emit through it. On exit a
     ``phase="final"`` snapshot is emitted and file sinks are closed.
+    With ``trace_out`` an ambient :class:`~repro.obs.trace.Tracer` is
+    activated alongside, and the recorded span tree (including spans
+    relayed from forked sweep workers) is written as Chrome trace-event
+    JSON when the command finishes.
     """
     dispatcher = EventDispatcher()
     if not quiet:
@@ -95,14 +104,28 @@ def _observability(quiet: bool,
     if metrics_out:
         dispatcher.attach(JsonlSink.open(
             metrics_out, access_every=METRICS_ACCESS_SAMPLE))
+        # A registry rides along so the final snapshot carries protocol
+        # totals — accumulated locally in serial runs, merged from
+        # worker registries under --jobs N.
+        dispatcher.metrics = MetricsRegistry()
+    tracer: Optional[Tracer] = Tracer() if trace_out else None
     try:
         with obs_runtime.activate(dispatcher):
-            yield dispatcher, timeline_sink
+            if tracer is not None:
+                with obs_trace.activate(tracer):
+                    yield dispatcher, timeline_sink
+            else:
+                yield dispatcher, timeline_sink
         if dispatcher.active:
+            counters = (dispatcher.metrics.snapshot()
+                        if dispatcher.metrics is not None else {})
             dispatcher.emit(SnapshotEvent(time=None, phase="final",
-                                          counters={}))
+                                          counters=counters))
     finally:
         dispatcher.close()
+    if tracer is not None and trace_out:
+        write_chrome_trace(trace_out, tracer)
+        print(f"trace written to {trace_out}", file=sys.stderr)
     if metrics_out:
         print(f"metrics written to {metrics_out}", file=sys.stderr)
 
@@ -117,7 +140,7 @@ def _progress_to(dispatcher: EventDispatcher):
 def _run_table(number: str, scale: float, repetitions: Optional[int],
                quiet: bool, compare: bool, chart: bool,
                metrics_out: Optional[str], timeline: bool,
-               jobs: int = 1) -> int:
+               jobs: int = 1, trace_out: Optional[str] = None) -> int:
     builders = {
         "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
         "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
@@ -126,7 +149,8 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
     builder, paper_rows, default_reps = builders[number]
     reps = repetitions if repetitions is not None else default_reps
     spec = builder(scale=scale, repetitions=reps)
-    with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
+    with _observability(quiet, metrics_out, timeline,
+                        trace_out) as (obs, timeline_sink):
         result = run_experiment(spec, progress=_progress_to(obs),
                                 observability=obs, jobs=jobs)
         if compare:
@@ -161,14 +185,15 @@ def _run_trace_stats(scale: float, quiet: bool) -> int:
 
 def _run_ablation(name: str, quiet: bool,
                   metrics_out: Optional[str], timeline: bool,
-                  jobs: int = 1) -> int:
+                  jobs: int = 1, trace_out: Optional[str] = None) -> int:
     try:
         ablation = ABLATIONS[name]
     except KeyError:
         known = ", ".join(sorted(ABLATIONS))
         print(f"unknown ablation {name!r}; known: {known}", file=sys.stderr)
         return 2
-    with _observability(quiet, metrics_out, timeline) as (obs, timeline_sink):
+    with _observability(quiet, metrics_out, timeline,
+                        trace_out) as (obs, timeline_sink):
         _progress_to(obs)(f"running ablation {name} ...")
         # Ablations build their sweeps internally; the ambient default
         # routes --jobs to any sweep_buffer_sizes call below.
@@ -182,7 +207,7 @@ def _run_ablation(name: str, quiet: bool,
 
 def _list_targets() -> int:
     print("tables:     table4.1  table4.2  table4.3")
-    print("analysis:   trace-stats")
+    print("analysis:   trace-stats  explain")
     print("report:     report [--ablations] [--output FILE]")
     print("ablations:  " + "  ".join(sorted(ABLATIONS)))
     return 0
@@ -206,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes for the sweep grid (default 1 = serial; "
                  "results are identical either way)")
+        command_parser.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="write a Chrome trace-event JSON span timeline "
+                 "(sweep -> cell -> simulate -> policy-hook; loadable in "
+                 "Perfetto), including spans from --jobs workers")
 
     for number in ("4.1", "4.2", "4.3"):
         table = sub.add_parser(f"table{number}",
@@ -234,6 +264,37 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suppress progress narration on stderr")
     add_obs_flags(ablation)
 
+    explain = sub.add_parser(
+        "explain",
+        help="replay a (workload, seed, capacity) cell and explain why "
+             "a page was evicted (candidates, CRP, Belady regret)")
+    explain.add_argument("--workload", default="zipfian",
+                         choices=sorted(EXPLAIN_WORKLOADS),
+                         help="named workload to replay (default zipfian)")
+    explain.add_argument("--seed", type=int, default=0,
+                         help="workload seed (default 0)")
+    explain.add_argument("--capacity", type=int, required=True,
+                         help="buffer slots B")
+    explain.add_argument("--page", type=int, required=True,
+                         help="the evicted page to explain")
+    explain.add_argument("--at", type=int, default=None, metavar="T",
+                         help="1-based reference time of the eviction "
+                              "(default: the page's latest eviction)")
+    explain.add_argument("--refs", type=int, default=None, metavar="N",
+                         help="replay length (default 20000, extended to "
+                              "cover --at)")
+    explain.add_argument("--k", type=int, default=2,
+                         help="LRU-K history depth (default 2)")
+    explain.add_argument("--crp", type=int, default=0,
+                         help="correlated reference period (default 0)")
+    explain.add_argument("--rip", type=int, default=None,
+                         help="retained information period (default: keep "
+                              "all history)")
+    explain.add_argument("--top", type=int, default=8,
+                         help="candidates to show per decision (default 8)")
+    explain.add_argument("--no-belady", action="store_true",
+                         help="skip the Belady-regret annotation (faster)")
+
     report = sub.add_parser(
         "report", help="regenerate the full reproduction report (Markdown)")
     report.add_argument("--output", default=None,
@@ -260,7 +321,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ablation":
         return _run_ablation(args.name, args.quiet,
                              args.metrics_out, args.timeline,
-                             jobs=args.jobs)
+                             jobs=args.jobs, trace_out=args.trace_out)
+    if args.command == "explain":
+        report = explain_eviction(
+            args.workload, args.seed, args.capacity, args.page,
+            at=args.at, references=args.refs, k=args.k,
+            correlated_reference_period=args.crp,
+            retained_information_period=args.rip,
+            top_candidates=args.top, belady=not args.no_belady)
+        print(report.render())
+        return 0 if report.found else 1
     if args.command == "report":
         from .experiments.report import generate_report
         with _observability(args.quiet) as (obs, _):
@@ -279,7 +349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     number = args.command.removeprefix("table")
     return _run_table(number, args.scale, args.repetitions,
                       args.quiet, args.compare, args.chart,
-                      args.metrics_out, args.timeline, jobs=args.jobs)
+                      args.metrics_out, args.timeline, jobs=args.jobs,
+                      trace_out=args.trace_out)
 
 
 if __name__ == "__main__":

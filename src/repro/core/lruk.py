@@ -53,7 +53,12 @@ from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NoEvictableFrameError
-from ..obs.events import PurgeEvent
+from ..obs.events import EvictionDecisionEvent, PurgeEvent
+from ..obs.provenance import (
+    CandidateInfo,
+    EvictionDecision,
+    ProvenanceRecorder,
+)
 from ..policies.base import NO_EXCLUSIONS, ReplacementPolicy, register_policy_factory
 from ..types import PageId
 from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
@@ -142,6 +147,13 @@ class LRUKPolicy(ReplacementPolicy):
         self.history = HistoryStore(
             k, retained_information_period=retained_information_period)
         self.stats = LRUKStats()
+        #: Eviction decision provenance, opt-in: the un-instrumented
+        #: victim-selection path pays exactly this one None-check (see
+        #: :mod:`repro.obs.provenance`).
+        self.provenance: Optional[ProvenanceRecorder] = None
+        #: page -> residency began from a retained HIST block (Section
+        #: 2.1.2); maintained only while provenance is attached.
+        self._retained_admissions: Dict[PageId, bool] = {}
         # Lazy victim heap: (HIST(q,K), HIST(q,1), page).
         self._heap: List[Tuple[int, int, PageId]] = []
         # Bounded-memory mode: LRU order of history blocks (by LAST).
@@ -200,6 +212,8 @@ class LRUKPolicy(ReplacementPolicy):
             block.record_readmission(now)
         self.stats.admissions += 1
         self.stats.uncorrelated_references += 1
+        if self.provenance is not None:
+            self._retained_admissions[page] = not created
         if self.distinguish_processes:
             self._last_process[page] = self._current_process
         self._push(page, block)
@@ -219,6 +233,8 @@ class LRUKPolicy(ReplacementPolicy):
                       incoming: Optional[PageId] = None,
                       exclude: FrozenSet[PageId] = NO_EXCLUSIONS) -> PageId:
         self._check_candidates(exclude)
+        if self.provenance is not None:
+            return self._choose_with_provenance(now, incoming, exclude)
         if self.selection == "scan":
             victim = self._choose_by_scan(now, exclude)
         else:
@@ -269,6 +285,81 @@ class LRUKPolicy(ReplacementPolicy):
             break
         for entry in set_aside:
             heapq.heappush(self._heap, entry)
+        return victim
+
+    def _choose_with_provenance(self, now: int,
+                                incoming: Optional[PageId],
+                                exclude: FrozenSet[PageId]) -> PageId:
+        """Enumerating victim selection with a full decision record.
+
+        Decision-identical to both production selectors: all three share
+        the (HIST(q,K), HIST(q,1)) total order, and uncorrelated
+        reference times are unique so ties cannot occur. Only runs while
+        a :class:`~repro.obs.provenance.ProvenanceRecorder` is attached.
+        """
+        recorder = self.provenance
+        assert recorder is not None
+        eligible: List[Tuple[int, int, PageId]] = []
+        crp_protected: List[PageId] = []
+        excluded_total = 0
+        for q in self._resident:
+            if q in exclude:
+                excluded_total += 1
+                continue
+            block = self.history.get(q)
+            if block is None:
+                continue
+            if now - block.last <= self.crp:
+                crp_protected.append(q)
+                continue
+            eligible.append((block.kth_time(), block.hist[0], q))
+        forced = not eligible
+        if forced:
+            victim = self._forced_choice(now, exclude)
+        else:
+            victim = min(eligible)[2]
+
+        eligible.sort()
+        candidates: List[CandidateInfo] = []
+        for kth, first, page in eligible[:recorder.top_candidates]:
+            candidates.append(CandidateInfo(
+                page=page, kth_time=kth, last_uncorrelated=first,
+                backward_k_distance=(None if kth == 0
+                                     else float(now - kth)),
+                chosen=page == victim))
+        if not any(info.chosen for info in candidates):
+            block = self.history.get(victim)
+            kth = block.kth_time() if block is not None else 0
+            first = block.hist[0] if block is not None else 0
+            candidates.append(CandidateInfo(
+                page=victim, kth_time=kth, last_uncorrelated=first,
+                backward_k_distance=(None if kth == 0
+                                     else float(now - kth)),
+                crp_protected=victim in crp_protected, chosen=True))
+
+        victim_block = self.history.get(victim)
+        decision = EvictionDecision(
+            time=now,
+            victim=victim,
+            victim_distance=(None if victim_block is None
+                             or victim_block.kth_time() == 0
+                             else float(now - victim_block.kth_time())),
+            victim_hist=(list(victim_block.hist) if victim_block is not None
+                         else [0] * self.k),
+            victim_last=victim_block.last if victim_block is not None else 0,
+            candidates=candidates,
+            considered=len(eligible),
+            crp_excluded=sorted(crp_protected)[:recorder.top_candidates],
+            crp_excluded_total=len(crp_protected),
+            excluded_total=excluded_total,
+            forced=forced,
+            retained_history=self._retained_admissions.get(victim, False),
+            incoming=incoming,
+        )
+        recorder.record(decision, resident=self._resident, exclude=exclude)
+        obs = self.observability
+        if obs is not None and obs._sinks:
+            obs.emit(EvictionDecisionEvent.from_decision(decision))
         return victim
 
     def _forced_choice(self, now: int, exclude: FrozenSet[PageId]) -> PageId:
@@ -384,6 +475,7 @@ class LRUKPolicy(ReplacementPolicy):
         self._block_lru.clear()
         self._last_process.clear()
         self._current_process = None
+        self._retained_admissions.clear()
 
 
 def _make_lruk(**kwargs) -> LRUKPolicy:

@@ -17,12 +17,21 @@ Four layers, all strictly pay-for-what-you-use:
   :mod:`repro.obs.profiler`): JSONL files, bounded ring buffers, the
   terminal timeline, and the per-hook latency profiler behind the
   distributional numbers in ``benchmarks/bench_overhead.py``.
+- **tracing & provenance** (:mod:`repro.obs.trace`,
+  :mod:`repro.obs.provenance`): hierarchical wall/CPU-time spans
+  (``sweep → cell → simulate → policy-hook``) with cross-process relay
+  from forked sweep workers and Chrome trace-event export, plus
+  per-eviction decision provenance — the candidate set, CRP exclusions,
+  retained-history influence, and optional Belady-regret annotation
+  behind ``repro explain``.
 
-See ``docs/observability.md`` for the JSONL schema.
+See ``docs/observability.md`` for the JSONL schema and the tracing /
+provenance guide.
 """
 
 from .events import (
     AccessEvent,
+    EvictionDecisionEvent,
     EvictionEvent,
     FlushEvent,
     ObsEvent,
@@ -37,6 +46,13 @@ from .runtime import activate, current, resolve
 from .registry import Counter, Gauge, HistogramMetric, MetricsRegistry
 from .window import HitRatioWindowRecorder, SlidingHitRatioWindow
 from .profiler import PROFILED_HOOKS, HookProfile, ProfiledPolicy
+from .provenance import (
+    CandidateInfo,
+    EvictionDecision,
+    NextUseOracle,
+    ProvenanceRecorder,
+)
+from .trace import Span, Tracer, write_chrome_trace
 from .sinks import (
     ConsoleProgressSink,
     JsonlSink,
@@ -69,6 +85,14 @@ __all__ = [
     "ProfiledPolicy",
     "HookProfile",
     "PROFILED_HOOKS",
+    "EvictionDecisionEvent",
+    "CandidateInfo",
+    "EvictionDecision",
+    "NextUseOracle",
+    "ProvenanceRecorder",
+    "Span",
+    "Tracer",
+    "write_chrome_trace",
     "JsonlSink",
     "RingBufferSink",
     "ConsoleProgressSink",

@@ -21,9 +21,12 @@ Sinks are objects with a ``handle(event, context)`` method (see
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
 from .events import ObsEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .registry import MetricsRegistry
 
 
 class Sink:
@@ -55,11 +58,18 @@ class CallbackSink(Sink):
 class EventDispatcher:
     """Fan events out to attached sinks, tagged with the run context."""
 
-    __slots__ = ("_sinks", "context")
+    __slots__ = ("_sinks", "context", "metrics")
 
     def __init__(self) -> None:
         self._sinks: List[Sink] = []
         self.context: Dict[str, object] = {}
+        #: Optional :class:`~repro.obs.registry.MetricsRegistry` riding
+        #: along with the dispatcher. Drivers that accumulate counters
+        #: (the measurement protocol) resolve it once per run; forked
+        #: sweep workers relay their own registries' counter values back
+        #: to be merged into this one, so ``--metrics-out`` totals are
+        #: identical under ``--jobs N`` and serial execution.
+        self.metrics: Optional["MetricsRegistry"] = None
 
     # -- sink management ---------------------------------------------------------
 
@@ -112,7 +122,7 @@ class EventDispatcher:
     # -- context -----------------------------------------------------------------
 
     @contextmanager
-    def scoped(self, **annotations) -> Iterator["EventDispatcher"]:
+    def scoped(self, **annotations: object) -> Iterator["EventDispatcher"]:
         """Temporarily extend the context (run labels, capacities, seeds)."""
         saved = self.context
         self.context = {**saved, **annotations}

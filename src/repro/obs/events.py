@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..types import PageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .provenance import EvictionDecision
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,55 @@ class EvictionEvent(ObsEvent):
     dirty: bool = False
     backward_k_distance: Optional[float] = None
     history_informed: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class EvictionDecisionEvent(ObsEvent):
+    """Full provenance of one victim choice (see :mod:`repro.obs.provenance`).
+
+    Emitted by LRU-K-family policies only while a
+    :class:`~repro.obs.provenance.ProvenanceRecorder` is attached, so the
+    candidate enumeration cost is strictly opt-in. ``candidates`` is a
+    tuple of plain dicts (page / kth_time / last_uncorrelated /
+    backward_k_distance / crp_protected / excluded / chosen) so the
+    record serializes to strict JSON as-is.
+    """
+
+    kind = "decision"
+
+    time: int
+    victim: PageId
+    backward_k_distance: Optional[float]
+    candidates: Tuple[Dict[str, object], ...]
+    considered: int
+    crp_excluded: int
+    forced: bool
+    retained_history: bool
+    belady_victim: Optional[PageId] = None
+    belady_agrees: Optional[bool] = None
+    regret: Optional[int] = None
+
+    @classmethod
+    def from_decision(cls, decision: "EvictionDecision"
+                      ) -> "EvictionDecisionEvent":
+        """Flatten a :class:`~repro.obs.provenance.EvictionDecision`."""
+        candidates = tuple(
+            {"page": info.page, "kth_time": info.kth_time,
+             "last_uncorrelated": info.last_uncorrelated,
+             "backward_k_distance": info.backward_k_distance,
+             "crp_protected": info.crp_protected,
+             "excluded": info.excluded, "chosen": info.chosen}
+            for info in decision.candidates)
+        return cls(time=decision.time, victim=decision.victim,
+                   backward_k_distance=decision.victim_distance,
+                   candidates=candidates,
+                   considered=decision.considered,
+                   crp_excluded=decision.crp_excluded_total,
+                   forced=decision.forced,
+                   retained_history=decision.retained_history,
+                   belady_victim=decision.belady_victim,
+                   belady_agrees=decision.belady_agrees,
+                   regret=decision.regret)
 
 
 @dataclass(frozen=True)
@@ -139,7 +191,7 @@ class ProgressEvent(ObsEvent):
     message: str
 
 
-def victim_telemetry(policy, victim: PageId,
+def victim_telemetry(policy: object, victim: PageId,
                      now: int) -> Tuple[Optional[float], Optional[bool]]:
     """Extract (backward_k_distance, history_informed) for an eviction.
 

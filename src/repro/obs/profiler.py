@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..policies.base import NO_EXCLUSIONS, ReplacementPolicy
@@ -86,7 +86,7 @@ class ProfiledPolicy(ReplacementPolicy):
     """A decision-transparent, hook-timing wrapper around a policy."""
 
     def __init__(self, inner: ReplacementPolicy,
-                 clock=time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         super().__init__()
         self.inner = inner
         self._clock = clock
@@ -144,7 +144,7 @@ class ProfiledPolicy(ReplacementPolicy):
     def resident_pages(self) -> FrozenSet[PageId]:
         return self.inner.resident_pages
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Fall through for policy-specific surface (backward_k_distance,
         # stats, history, ...) so telemetry helpers see the real policy.
         return getattr(self.inner, name)

@@ -1,0 +1,327 @@
+"""Eviction decision provenance: *why* a page was dropped.
+
+The paper's central claim (Section 2, Figure 2.1) is that LRU-K's
+eviction choices are better informed than LRU's because they rank pages
+by backward K-distance over retained history. Aggregate hit ratios can
+confirm the outcome but cannot show the mechanism; this module records
+the mechanism, one :class:`EvictionDecision` per victim choice:
+
+- the victim and the backward K-distance it was chosen at;
+- the top candidates considered, each with its HIST(q,K)/HIST(q,1) key
+  (Definition 2.2's total order);
+- which resident pages were *excluded* from consideration by the
+  Correlated Reference Period (Section 2.1 — "the system should not drop
+  a page immediately after its first reference");
+- whether the victim's residency began from a retained HIST block
+  (Section 2.1.2 Retained Information), i.e. whether history that
+  survived a previous eviction influenced the choice;
+- optionally, what Belady's B0 oracle would have evicted from the same
+  resident set, and the per-eviction regret.
+
+Capture is strictly pay-for-what-you-use: a policy carries
+``provenance = None`` by default and its victim-selection hot path tests
+exactly that one attribute (see :meth:`repro.core.lruk.LRUKPolicy
+.choose_victim`). Attaching a :class:`ProvenanceRecorder` — as
+``repro explain`` does — switches victim selection to an enumerating
+scan that is decision-identical to the production heap selector (the two
+share the same total order; uncorrelated reference times are unique, so
+ties cannot occur).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+)
+
+from ..errors import ConfigurationError
+from ..types import PageId
+
+#: ``next_use(page, now)`` -> the time of the page's next reference
+#: strictly after ``now``, or None when it is never referenced again.
+NextUseOracle = Callable[[PageId, int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class CandidateInfo:
+    """One resident page as the victim selector saw it."""
+
+    page: PageId
+    #: HIST(q, K): 0 means fewer than K uncorrelated references recorded.
+    kth_time: int
+    #: HIST(q, 1): time of the most recent uncorrelated reference.
+    last_uncorrelated: int
+    #: Backward K-distance b_t(q, K); None encodes infinity.
+    backward_k_distance: Optional[float]
+    #: Inside its Correlated Reference Period (ineligible).
+    crp_protected: bool = False
+    #: Excluded by the driver (pinned frame).
+    excluded: bool = False
+    #: This candidate was the one evicted.
+    chosen: bool = False
+
+
+@dataclass
+class EvictionDecision:
+    """The full provenance record of one victim choice."""
+
+    time: int
+    victim: PageId
+    #: The victim's backward K-distance at decision time (None = infinite).
+    victim_distance: Optional[float]
+    #: The victim's HIST block contents (HIST(p,1) ... HIST(p,K)).
+    victim_hist: List[int]
+    #: The victim's LAST(p).
+    victim_last: int
+    #: Top candidates by the (HIST(q,K), HIST(q,1)) order, victim included.
+    candidates: List[CandidateInfo]
+    #: Eligible pages considered (may exceed ``len(candidates)``).
+    considered: int
+    #: Pages skipped because they sat inside their CRP (capped sample).
+    crp_excluded: List[PageId]
+    crp_excluded_total: int
+    #: Pages the driver excluded (pinned), total.
+    excluded_total: int
+    #: No eligible page existed; the stalest correlated burst was evicted.
+    forced: bool
+    #: The victim's residency began from a retained HIST block
+    #: (Section 2.1.2): history from before its last eviction informed
+    #: this choice.
+    retained_history: bool
+    #: The page whose admission triggered the eviction, if known.
+    incoming: Optional[PageId] = None
+    #: Filled in by the driver after the eviction completes.
+    dirty: Optional[bool] = None
+    # -- Belady-regret annotation (None until a recorder with an oracle
+    #    sees the decision) -----------------------------------------------------
+    belady_victim: Optional[PageId] = None
+    belady_agrees: Optional[bool] = None
+    #: Next reference time of the actual victim (None = never again).
+    victim_next_use: Optional[int] = None
+    #: Next reference time of B0's pick (None = never again).
+    belady_next_use: Optional[int] = None
+    #: How many references sooner the actual victim was needed again
+    #: compared with B0's pick (0 when the choices are equally good).
+    regret: Optional[int] = None
+
+    def summary_lines(self) -> List[str]:
+        """A human-readable rendering (the `repro explain` body)."""
+        distance = ("inf" if self.victim_distance is None
+                    else f"{self.victim_distance:.0f}")
+        lines = [
+            f"evicted page {self.victim} at t={self.time} "
+            f"(backward K-distance {distance})",
+            f"  HIST(p) = {self.victim_hist}  LAST(p) = {self.victim_last}",
+            f"  retained history influenced the choice: "
+            f"{'yes' if self.retained_history else 'no'}",
+        ]
+        if self.incoming is not None:
+            lines.append(f"  incoming page: {self.incoming}")
+        if self.dirty is not None:
+            lines.append(f"  victim dirty: {'yes' if self.dirty else 'no'}")
+        if self.forced:
+            lines.append("  FORCED eviction: every resident page sat inside "
+                         "its Correlated Reference Period")
+        lines.append(f"  candidates considered: {self.considered} eligible, "
+                     f"{self.crp_excluded_total} CRP-protected, "
+                     f"{self.excluded_total} pinned")
+        lines.append("  top candidates by (HIST(q,K), HIST(q,1)):")
+        for info in self.candidates:
+            distance = ("inf" if info.backward_k_distance is None
+                        else f"{info.backward_k_distance:.0f}")
+            marks = []
+            if info.chosen:
+                marks.append("<- evicted")
+            if info.crp_protected:
+                marks.append("CRP-protected")
+            if info.excluded:
+                marks.append("pinned")
+            suffix = ("  " + " ".join(marks)) if marks else ""
+            lines.append(
+                f"    page {info.page:<8d} HIST(q,K)={info.kth_time:<8d} "
+                f"HIST(q,1)={info.last_uncorrelated:<8d} "
+                f"b_t(q,K)={distance}{suffix}")
+        if self.crp_excluded_total:
+            sample = ", ".join(str(page) for page in self.crp_excluded)
+            more = self.crp_excluded_total - len(self.crp_excluded)
+            if more > 0:
+                sample += f", ... ({more} more)"
+            lines.append(f"  CRP-protected pages: {sample}")
+        if self.belady_agrees is not None:
+            never = "never again"
+            victim_next = (never if self.victim_next_use is None
+                           else f"t={self.victim_next_use}")
+            belady_next = (never if self.belady_next_use is None
+                           else f"t={self.belady_next_use}")
+            lines.append(
+                f"  Belady (B0) would have evicted page {self.belady_victim} "
+                f"(next use {belady_next}); actual victim's next use: "
+                f"{victim_next}")
+            if self.belady_agrees:
+                lines.append("  B0 agrees with this eviction (regret 0)")
+            else:
+                lines.append(f"  B0 disagrees: regret {self.regret} "
+                             f"references")
+        return lines
+
+
+class ProvenanceRecorder:
+    """Collect :class:`EvictionDecision` records during a replay.
+
+    Parameters
+    ----------
+    top_candidates:
+        How many top-ranked candidates each decision keeps (the victim is
+        always included).
+    max_decisions:
+        Bound on retained decisions (oldest dropped); None keeps all.
+    next_use:
+        Optional Belady oracle; when given, every decision is annotated
+        with B0's pick from the same resident set and the regret tally
+        accumulates.
+    horizon:
+        Trace length; "never referenced again" is scored as
+        ``horizon + 1`` when computing regret. Required with ``next_use``.
+    """
+
+    def __init__(self, top_candidates: int = 8,
+                 max_decisions: Optional[int] = None,
+                 next_use: Optional[NextUseOracle] = None,
+                 horizon: Optional[int] = None) -> None:
+        if top_candidates <= 0:
+            raise ConfigurationError("top_candidates must be positive")
+        if max_decisions is not None and max_decisions <= 0:
+            raise ConfigurationError("max_decisions must be positive or None")
+        if next_use is not None and horizon is None:
+            raise ConfigurationError(
+                "a next_use oracle needs the trace horizon for regret")
+        self.top_candidates = top_candidates
+        self._decisions: Deque[EvictionDecision] = deque(maxlen=max_decisions)
+        self._by_victim: Dict[PageId, List[EvictionDecision]] = {}
+        self._next_use = next_use
+        self._horizon = horizon
+        self.evictions = 0
+        self.belady_agreements = 0
+        self.total_regret = 0
+
+    # -- capture -------------------------------------------------------------------
+
+    def record(self, decision: EvictionDecision,
+               resident: Iterable[PageId],
+               exclude: Set[PageId] = frozenset()) -> None:
+        """Fold one decision in, annotating Belady regret when possible."""
+        self.evictions += 1
+        if self._next_use is not None:
+            self._annotate_belady(decision, resident, exclude)
+        if (self._decisions.maxlen is not None
+                and len(self._decisions) == self._decisions.maxlen):
+            evicted = self._decisions[0]
+            bucket = self._by_victim.get(evicted.victim)
+            if bucket and bucket[0] is evicted:
+                bucket.pop(0)
+        self._decisions.append(decision)
+        self._by_victim.setdefault(decision.victim, []).append(decision)
+
+    def _annotate_belady(self, decision: EvictionDecision,
+                         resident: Iterable[PageId],
+                         exclude: Set[PageId]) -> None:
+        assert self._next_use is not None and self._horizon is not None
+        sentinel = self._horizon + 1
+        now = decision.time
+
+        def score(page: PageId) -> int:
+            use = self._next_use(page, now)
+            return sentinel if use is None else use
+
+        best_page: Optional[PageId] = None
+        best_score = -1
+        for page in resident:
+            if page in exclude:
+                continue
+            page_score = score(page)
+            # Deterministic tie-break: smallest page id among the ties.
+            if (page_score > best_score
+                    or (page_score == best_score and best_page is not None
+                        and page < best_page)):
+                best_score = page_score
+                best_page = page
+        if best_page is None:
+            return
+        victim_score = score(decision.victim)
+        decision.belady_victim = best_page
+        decision.victim_next_use = (None if victim_score == sentinel
+                                    else victim_score)
+        decision.belady_next_use = (None if best_score == sentinel
+                                    else best_score)
+        # Equal scores mean the choices are equally optimal even if the
+        # page ids differ (e.g. several pages never referenced again).
+        decision.belady_agrees = victim_score >= best_score
+        decision.regret = max(0, best_score - victim_score)
+        if decision.belady_agrees:
+            self.belady_agreements += 1
+        self.total_regret += decision.regret
+
+    def annotate_eviction(self, victim: PageId, now: int,
+                          dirty: bool) -> None:
+        """Driver callback: fill in the dirty flag after the eviction."""
+        if self._decisions:
+            latest = self._decisions[-1]
+            if latest.victim == victim and latest.time == now:
+                latest.dirty = dirty
+
+    # -- lookup --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    @property
+    def decisions(self) -> List[EvictionDecision]:
+        """All retained decisions, oldest first."""
+        return list(self._decisions)
+
+    def decisions_for(self, page: PageId) -> List[EvictionDecision]:
+        """Every retained eviction of the given page, oldest first."""
+        return list(self._by_victim.get(page, []))
+
+    def find(self, page: PageId,
+             at: Optional[int] = None) -> Optional[EvictionDecision]:
+        """The eviction of ``page`` at time ``at`` — or the nearest one.
+
+        With ``at`` None, the page's most recent eviction. With an exact
+        time match, that decision; otherwise the eviction of the page
+        whose time is closest to ``at`` (ties to the earlier one).
+        """
+        bucket = self._by_victim.get(page)
+        if not bucket:
+            return None
+        if at is None:
+            return bucket[-1]
+        return min(bucket, key=lambda decision: (abs(decision.time - at),
+                                                 decision.time))
+
+    @property
+    def belady_agreement_ratio(self) -> Optional[float]:
+        """Fraction of evictions B0 agrees with (None without an oracle)."""
+        if self._next_use is None or self.evictions == 0:
+            return None
+        return self.belady_agreements / self.evictions
+
+    def tally_lines(self) -> List[str]:
+        """Run-level summary lines for the `repro explain` footer."""
+        lines = [f"evictions recorded: {self.evictions}"]
+        ratio = self.belady_agreement_ratio
+        if ratio is not None:
+            lines.append(
+                f"Belady (B0) agreement: {self.belady_agreements}/"
+                f"{self.evictions} ({ratio:.1%}); "
+                f"total regret {self.total_regret} references "
+                f"({self.total_regret / max(1, self.evictions):.1f}/eviction)")
+        return lines

@@ -92,19 +92,31 @@ class HistogramMetric:
         """Exact mean of all observations."""
         return self._moments.mean
 
-    def quantile(self, q: float) -> float:
-        """Approximate q-quantile (bin-interpolated)."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate q-quantile (bin-interpolated).
+
+        Total: an empty histogram has no quantiles, so this returns
+        ``None`` rather than the binning range's lower bound (which is a
+        configuration artifact, not an observation, and silently skewed
+        dashboards that averaged percentiles across runs).
+        """
+        if self._moments.count == 0:
+            return None
         return self._histogram.quantile(q)
 
     def summary(self) -> Dict[str, float]:
-        """count / mean / p50 / p95 / p99 as a flat dict."""
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
+        """count / mean / p50 / p95 / p99 as a flat dict.
+
+        Percentile keys are omitted while the histogram is empty (they
+        have no defined value), so a snapshot never fabricates numbers.
+        """
+        out = {"count": float(self.count), "mean": self.mean}
+        if self.count:
+            for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                quantile = self.quantile(q)
+                assert quantile is not None
+                out[key] = quantile
+        return out
 
 
 class MetricsRegistry:
@@ -143,6 +155,35 @@ class MetricsRegistry:
         histogram = self._histograms[name] = HistogramMetric(
             name, low, high, bins)
         return histogram
+
+    def percentile(self, name: str, q: float) -> Optional[float]:
+        """The q-quantile of the named histogram, if it has one.
+
+        Total over both failure modes: an unregistered name and an empty
+        histogram both yield ``None`` (previously the former raised and
+        the latter reported the binning range's lower bound).
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            return None
+        return histogram.quantile(q)
+
+    def counter_values(self) -> Dict[str, int]:
+        """Every counter's current value (the worker-relay payload)."""
+        return {name: counter.value
+                for name, counter in self._counters.items()}
+
+    def merge_counters(self, values: Dict[str, int]) -> None:
+        """Fold another registry's counter values into this one.
+
+        How forked sweep workers' deltas reach the parent: each worker
+        accumulates into a private registry, relays
+        :meth:`counter_values` over the result channel, and the parent
+        merges — counters are sums, so merging is exact and
+        order-independent.
+        """
+        for name, value in values.items():
+            self.counter(name).inc(value)
 
     def names(self) -> List[str]:
         """All registered instrument names, sorted."""

@@ -12,6 +12,13 @@ from .equi_effective import equi_effective_buffer_size, equi_effective_ratio
 from .trace_cache import CachedTrace, TraceCache
 from .parallel import default_jobs, fork_available, run_grid, suggested_jobs
 from .sweep import SweepCell, sweep_buffer_sizes
+from .explain import (
+    EXPLAIN_WORKLOADS,
+    ExplainReport,
+    NextUseIndex,
+    explain_eviction,
+    replay_cell,
+)
 from .experiment import ExperimentResult, ExperimentSpec, run_experiment
 from .tables import format_table, Table
 from .metrics import MetricsCollector, MissBreakdown
@@ -34,6 +41,11 @@ __all__ = [
     "suggested_jobs",
     "SweepCell",
     "sweep_buffer_sizes",
+    "EXPLAIN_WORKLOADS",
+    "ExplainReport",
+    "NextUseIndex",
+    "explain_eviction",
+    "replay_cell",
     "ExperimentResult",
     "ExperimentSpec",
     "run_experiment",

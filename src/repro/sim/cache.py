@@ -65,6 +65,10 @@ class CacheSimulator:
         self._obs = obs_runtime.resolve(observability)
         if self._obs is not None and hasattr(policy, "bind_observability"):
             policy.bind_observability(self._obs)
+        # Eviction-decision provenance (repro.obs.provenance): resolved
+        # once, so the eviction path pays a single None-check. Attach the
+        # recorder to the policy *before* constructing the simulator.
+        self._provenance = getattr(policy, "provenance", None)
         self.clock = LogicalClock()
         self.counter = HitRatioCounter()
         self.warmup_counter: Optional[HitRatioCounter] = None
@@ -163,6 +167,10 @@ class CacheSimulator:
                outcome: Optional[AccessOutcome] = None) -> None:
         dirty = self._resident.pop(victim)
         admitted = self._admitted_at.pop(victim)
+        if self._provenance is not None:
+            # Victim choice already recorded its decision; complete it
+            # with the outcome only the driver knows.
+            self._provenance.annotate_eviction(victim, t, dirty)
         obs = self._obs
         if obs is not None and obs._sinks:
             distance, informed = victim_telemetry(self.policy, victim, t)

@@ -34,13 +34,15 @@ import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..obs import runtime as obs_runtime
+from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
 from ..obs.events import ProgressEvent
+from ..obs.registry import MetricsRegistry
 from ..workloads.base import Workload
 from .runner import PolicySpec, ProtocolResult, run_paper_protocol
 from .trace_cache import TraceCache
@@ -101,6 +103,27 @@ class _SweepJob:
     seed: int
     repetitions: int
     trace_cache: TraceCache
+    #: Record spans in the worker and relay them to the parent tracer.
+    trace: bool = False
+    #: Accumulate metrics in a worker-local registry and relay the
+    #: counter values for the parent to merge.
+    collect_metrics: bool = False
+
+
+@dataclass
+class _CellOutput:
+    """What a worker sends back over the result channel.
+
+    The cell's :class:`ProtocolResult` plus the observability side
+    channels: serialized spans (plain dicts, see
+    :meth:`repro.obs.trace.Tracer.serialize`) and the worker registry's
+    counter values. Both ride the existing pickle result channel — no
+    extra IPC machinery.
+    """
+
+    result: ProtocolResult
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 #: Jobs visible to forked workers; keyed by a monotonically increasing id
@@ -109,19 +132,36 @@ _SHARED: Dict[int, _SweepJob] = {}
 _next_job_id = 0
 
 
-def _run_cell(job_id: int, spec_index: int,
-              capacity: int) -> ProtocolResult:
+def _run_cell(job_id: int, spec_index: int, capacity: int) -> _CellOutput:
     """Worker task: one (policy, capacity) cell of the grid."""
-    # Forked workers inherit the parent's ambient dispatcher and its
-    # open file sinks; emitting through them from many processes would
-    # interleave corrupt output, so workers run unobserved.
+    # Forked workers inherit the parent's ambient dispatcher (and its
+    # open file sinks) and the parent's ambient tracer; emitting through
+    # the former from many processes would interleave corrupt output,
+    # and appending to the latter is invisible to the parent — so
+    # workers clear both and build their own instruments when asked.
     obs_runtime.deactivate()
+    obs_trace.deactivate()
     job = _SHARED[job_id]
-    return run_paper_protocol(
-        job.workload, job.specs[spec_index], capacity,
-        job.warmup, job.measured, seed=job.seed,
-        repetitions=job.repetitions, observability=None,
-        trace_cache=job.trace_cache)
+    registry = MetricsRegistry() if job.collect_metrics else None
+
+    def cell() -> ProtocolResult:
+        return run_paper_protocol(
+            job.workload, job.specs[spec_index], capacity,
+            job.warmup, job.measured, seed=job.seed,
+            repetitions=job.repetitions, observability=None,
+            trace_cache=job.trace_cache, metrics=registry)
+
+    if job.trace:
+        tracer = obs_trace.Tracer()
+        with obs_trace.activate(tracer):
+            result = cell()
+        spans = tracer.serialize()
+    else:
+        result = cell()
+        spans = []
+    return _CellOutput(
+        result=result, spans=spans,
+        counters=registry.counter_values() if registry is not None else {})
 
 
 # -- the engine ----------------------------------------------------------------
@@ -179,24 +219,29 @@ def run_grid(workload: Workload,
     if jobs <= 1 or not fork_available() or len(order) <= 1:
         for capacity, index in order:
             spec = specs[index]
-            result = run_paper_protocol(
-                workload, spec, capacity, warmup, measured, seed=seed,
-                repetitions=repetitions, observability=observability,
-                trace_cache=cache)
+            with obs_trace.maybe_span("cell", capacity=capacity,
+                                      policy=spec.label):
+                result = run_paper_protocol(
+                    workload, spec, capacity, warmup, measured, seed=seed,
+                    repetitions=repetitions, observability=observability,
+                    trace_cache=cache)
             results[(capacity, spec.label)] = result
             _narrate(_cell_line(capacity, spec.label, result),
                      progress, observability)
         return results
 
+    obs = obs_runtime.resolve(observability)
+    tracer = obs_trace.current()
+    registry = getattr(obs, "metrics", None) if obs is not None else None
     job = _SweepJob(workload=workload, specs=specs, warmup=warmup,
                     measured=measured, seed=seed, repetitions=repetitions,
-                    trace_cache=cache)
+                    trace_cache=cache, trace=tracer is not None,
+                    collect_metrics=registry is not None)
     job_id = _next_job_id
     _next_job_id += 1
     _SHARED[job_id] = job
     # Flush the parent's sinks before forking: a child inheriting
     # buffered-but-unwritten file output would duplicate it at exit.
-    obs = obs_runtime.resolve(observability)
     if obs is not None:
         obs.flush()
     context = multiprocessing.get_context("fork")
@@ -211,13 +256,45 @@ def run_grid(workload: Workload,
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     capacity, label = pending.pop(future)
-                    result = future.result()
-                    results[(capacity, label)] = result
-                    _narrate(_cell_line(capacity, label, result),
+                    output = future.result()
+                    results[(capacity, label)] = output.result
+                    if tracer is not None:
+                        _absorb_cell(tracer, output.spans, capacity, label)
+                    if registry is not None and output.counters:
+                        registry.merge_counters(output.counters)
+                    _narrate(_cell_line(capacity, label, output.result),
                              progress, observability)
     finally:
         _SHARED.pop(job_id, None)
     return results
+
+
+def _absorb_cell(tracer: "obs_trace.Tracer",
+                 spans: List[Dict[str, object]],
+                 capacity: int, label: str) -> None:
+    """Adopt one worker cell's relayed spans into the parent tracer.
+
+    Synthesizes the parent-side ``cell`` envelope covering the worker
+    spans' wall-clock extent (absolute timestamps make the two processes
+    directly comparable), then re-parents the worker's root spans under
+    it via :meth:`~repro.obs.trace.Tracer.absorb`. The envelope sits on
+    the worker's pid track so Perfetto nests it with the spans it
+    contains.
+    """
+    if not spans:
+        return
+    start = min(int(record["start_us"]) for record in spans)  # type: ignore[arg-type]
+    end = max(int(record["start_us"]) + int(record["duration_us"])  # type: ignore[arg-type]
+              for record in spans)
+    cpu = sum(int(record["cpu_us"]) for record in spans  # type: ignore[arg-type]
+              if record["parent_id"] is None)
+    worker_pid = int(spans[0]["pid"])  # type: ignore[arg-type]
+    worker_tid = int(spans[0]["tid"])  # type: ignore[arg-type]
+    envelope = tracer.record(
+        "cell", start_us=start, duration_us=end - start, cpu_us=cpu,
+        pid=worker_pid, tid=worker_tid,
+        capacity=capacity, policy=label, worker_pid=worker_pid)
+    tracer.absorb(spans, parent_id=envelope.span_id)
 
 
 def suggested_jobs() -> int:

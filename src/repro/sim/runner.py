@@ -20,8 +20,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..obs import runtime as obs_runtime
+from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
 from ..obs.events import SnapshotEvent
+from ..obs.profiler import PROFILED_HOOKS, ProfiledPolicy
+from ..obs.registry import MetricsRegistry
 from ..policies import A0Policy, BeladyPolicy, ReplacementPolicy, make_policy
 from ..stats import ConfidenceInterval, mean_confidence_interval
 from ..types import PageId, Reference
@@ -199,26 +202,85 @@ def measure_hit_ratio(policy: ReplacementPolicy,
                                    counters=_snapshot_counters(simulator)))
         simulator.start_measurement()
 
+    measured = len(references) - warmup
     if isinstance(references, CachedTrace) and references.plain:
         # Pre-normalized stream: bare page ids through the fast path.
         pages = references.page_ids()
         access_page = simulator.access_page
-        for page in pages[:warmup]:
-            access_page(page)
+        with obs_trace.maybe_span("warmup", references=warmup):
+            for page in pages[:warmup]:
+                access_page(page)
         at_measurement_boundary()
-        for page in pages[warmup:]:
-            access_page(page)
+        with obs_trace.maybe_span("measure", references=measured):
+            for page in pages[warmup:]:
+                access_page(page)
     else:
         if isinstance(references, CachedTrace):
             references = references.references()
-        for index, reference in enumerate(references):
-            if index == warmup:
-                at_measurement_boundary()
-            simulator.access(reference)
+        iterator = iter(references)
+        access = simulator.access
+        with obs_trace.maybe_span("warmup", references=warmup):
+            for _ in range(warmup):
+                access(next(iterator))
+        at_measurement_boundary()
+        with obs_trace.maybe_span("measure", references=measured):
+            for reference in iterator:
+                access(reference)
     if observing:
         obs.emit(SnapshotEvent(time=simulator.now, phase="end",
                                counters=_snapshot_counters(simulator)))
     return simulator
+
+
+def _record_hook_spans(tracer: "obs_trace.Tracer",
+                       parent: "obs_trace.Span",
+                       profiled: ProfiledPolicy) -> None:
+    """Synthesize aggregate ``policy-hook`` spans under a simulate span.
+
+    One span per protocol hook (millions of per-call spans would dwarf
+    the run being measured); each carries call count and p50/p95/p99 in
+    its args and spans the hook's *total* time, laid out sequentially
+    from the simulate span's start so Perfetto renders them nested.
+    """
+    cursor = parent.start_us
+    for hook in PROFILED_HOOKS:
+        profile = profiled.profiles[hook]
+        if not profile.count:
+            continue
+        duration = int(profile.total * 1e6)
+        summary = profile.summary_us()
+        tracer.record(
+            hook, start_us=cursor, duration_us=duration, cpu_us=duration,
+            parent_id=parent.span_id, category="policy-hook",
+            pid=parent.pid, tid=parent.tid,
+            calls=profile.count, mean_us=round(summary["mean"], 3),
+            p50_us=round(summary["p50"], 3),
+            p95_us=round(summary["p95"], 3),
+            p99_us=round(summary["p99"], 3))
+        cursor += duration
+
+
+def _record_protocol_counters(registry: MetricsRegistry,
+                              simulator: CacheSimulator) -> None:
+    """Fold one finished run's totals into protocol.* counters."""
+    counter = registry.counter
+    counter("protocol.runs").inc()
+    measured = simulator.counter
+    warm = simulator.warmup_counter
+    references = measured.hits + measured.misses
+    if warm is not None:
+        references += warm.hits + warm.misses
+    counter("protocol.references").inc(references)
+    counter("protocol.hits").inc(measured.hits)
+    counter("protocol.misses").inc(measured.misses)
+    counter("protocol.evictions").inc(simulator.evictions)
+    counter("protocol.writebacks").inc(simulator.writebacks)
+    stats = getattr(simulator.policy, "stats", None)
+    if stats is not None and is_dataclass(stats):
+        for spec in dataclass_fields(stats):
+            value = getattr(stats, spec.name)
+            if isinstance(value, int) and value >= 0:
+                counter(f"policy.{spec.name}").inc(value)
 
 
 @dataclass
@@ -244,7 +306,8 @@ def run_paper_protocol(workload: Workload,
                        seed: int = 0,
                        repetitions: int = 1,
                        observability: Optional[EventDispatcher] = None,
-                       trace_cache: Optional[TraceCache] = None
+                       trace_cache: Optional[TraceCache] = None,
+                       metrics: Optional[MetricsRegistry] = None
                        ) -> ProtocolResult:
     """Warm up, measure, repeat over seeds, and average — Section 4.1 style.
 
@@ -257,11 +320,20 @@ def run_paper_protocol(workload: Workload,
 
     Events emitted during each run are tagged with
     ``policy``/``capacity``/``seed`` context so downstream sinks can
-    separate the repetitions of a sweep.
+    separate the repetitions of a sweep. With an ambient tracer (see
+    :mod:`repro.obs.trace`) each repetition records a ``simulate`` span
+    (plus ``warmup``/``measure`` children and aggregate ``policy-hook``
+    spans from a decision-transparent :class:`ProfiledPolicy` wrapper);
+    with a metrics registry — ``metrics`` or the ambient dispatcher's —
+    the run's totals accumulate into ``protocol.*`` counters.
     """
     if repetitions <= 0:
         raise ConfigurationError("need at least one repetition")
     obs = obs_runtime.resolve(observability)
+    tracer = obs_trace.current()
+    registry = metrics
+    if registry is None and obs is not None:
+        registry = getattr(obs, "metrics", None)
     total = warmup + measured
     runs: List[RunResult] = []
     for repetition in range(repetitions):
@@ -274,14 +346,28 @@ def run_paper_protocol(workload: Workload,
         if spec.needs_trace:
             context.trace = trace.page_ids()
         policy = spec.build(context)
-        if obs is not None:
-            with obs.scoped(policy=spec.label, capacity=capacity,
-                            seed=run_seed):
-                simulator = measure_hit_ratio(policy, trace, capacity,
-                                              warmup, observability=obs)
+        driven: ReplacementPolicy = policy
+        if tracer is not None and tracer.profile_hooks:
+            driven = ProfiledPolicy(policy)
+
+        def drive() -> CacheSimulator:
+            if obs is not None:
+                with obs.scoped(policy=spec.label, capacity=capacity,
+                                seed=run_seed):
+                    return measure_hit_ratio(driven, trace, capacity,
+                                             warmup, observability=obs)
+            return measure_hit_ratio(driven, trace, capacity, warmup)
+
+        if tracer is not None:
+            with tracer.span("simulate", policy=spec.label,
+                             capacity=capacity, seed=run_seed) as span:
+                simulator = drive()
+            if isinstance(driven, ProfiledPolicy):
+                _record_hook_spans(tracer, span, driven)
         else:
-            simulator = measure_hit_ratio(policy, trace, capacity,
-                                          warmup)
+            simulator = drive()
+        if registry is not None:
+            _record_protocol_counters(registry, simulator)
         warmup_ratio = (simulator.warmup_counter.hit_ratio
                         if simulator.warmup_counter else 0.0)
         runs.append(RunResult(

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
 from ..stats import ConfidenceInterval
 from ..workloads.base import Workload
@@ -71,28 +72,35 @@ def sweep_buffer_sizes(workload: Workload,
     jobs = parallel.resolve_jobs(jobs)
     cache = trace_cache if trace_cache is not None else TraceCache()
 
-    if jobs > 1:
-        grid = parallel.run_grid(
-            workload, specs, capacities, warmup, measured,
-            seed=seed, repetitions=repetitions, jobs=jobs,
-            trace_cache=cache, progress=progress,
-            observability=observability)
-        return [SweepCell(capacity=capacity,
-                          results={spec.label: grid[(capacity, spec.label)]
-                                   for spec in specs})
-                for capacity in capacities]
+    with obs_trace.maybe_span(
+            "sweep", workload=type(workload).__name__,
+            policies=labels, capacities=list(capacities),
+            repetitions=repetitions, jobs=jobs):
+        if jobs > 1:
+            grid = parallel.run_grid(
+                workload, specs, capacities, warmup, measured,
+                seed=seed, repetitions=repetitions, jobs=jobs,
+                trace_cache=cache, progress=progress,
+                observability=observability)
+            return [SweepCell(capacity=capacity,
+                              results={spec.label:
+                                       grid[(capacity, spec.label)]
+                                       for spec in specs})
+                    for capacity in capacities]
 
-    cells: List[SweepCell] = []
-    for capacity in capacities:
-        cell = SweepCell(capacity=capacity)
-        for spec in specs:
-            result = run_paper_protocol(
-                workload, spec, capacity, warmup, measured,
-                seed=seed, repetitions=repetitions,
-                observability=observability, trace_cache=cache)
-            cell.results[spec.label] = result
-            if progress is not None:
-                progress(f"B={capacity:<6d} {spec.label:<8s} "
-                         f"C={result.hit_ratio:.4f}")
-        cells.append(cell)
-    return cells
+        cells: List[SweepCell] = []
+        for capacity in capacities:
+            cell = SweepCell(capacity=capacity)
+            for spec in specs:
+                with obs_trace.maybe_span("cell", capacity=capacity,
+                                          policy=spec.label):
+                    result = run_paper_protocol(
+                        workload, spec, capacity, warmup, measured,
+                        seed=seed, repetitions=repetitions,
+                        observability=observability, trace_cache=cache)
+                cell.results[spec.label] = result
+                if progress is not None:
+                    progress(f"B={capacity:<6d} {spec.label:<8s} "
+                             f"C={result.hit_ratio:.4f}")
+            cells.append(cell)
+        return cells

@@ -96,8 +96,14 @@ class TestCliObservability:
         records, _ = jsonl
         kinds = {record["event"] for record in records}
         assert {"access", "eviction", "snapshot", "window"} <= kinds
-        assert records[-1] == {"event": "snapshot", "time": None,
-                               "phase": "final", "counters": {}}
+        final = records[-1]
+        assert final["event"] == "snapshot"
+        assert final["phase"] == "final"
+        assert final["time"] is None
+        # --metrics-out attaches a registry, so the final snapshot
+        # carries whole-command protocol totals.
+        assert final["counters"]["protocol.runs"] >= 1
+        assert final["counters"]["protocol.references"] > 0
 
     def test_records_carry_run_context(self, jsonl):
         records, _ = jsonl

@@ -1,0 +1,182 @@
+"""Eviction provenance: capture, lookup, Belady regret, decision identity."""
+
+import json
+
+import pytest
+
+from repro import CacheSimulator, LRUKPolicy
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EventDispatcher,
+    EvictionDecisionEvent,
+    ProvenanceRecorder,
+    RingBufferSink,
+)
+from repro.obs.provenance import CandidateInfo, EvictionDecision
+from repro.workloads import ZipfianWorkload
+
+
+def _pages(count=3000, n=400, seed=11):
+    workload = ZipfianWorkload(n=n)
+    return [ref.page for ref in workload.references(count, seed=seed)]
+
+
+def _replay(pages, capacity=40, recorder=None, **policy_kwargs):
+    policy = LRUKPolicy(k=2, **policy_kwargs)
+    if recorder is not None:
+        policy.provenance = recorder
+    simulator = CacheSimulator(policy, capacity)
+    for page in pages:
+        simulator.access_page(page)
+    return simulator
+
+
+class TestDecisionIdentity:
+    def test_provenance_capture_changes_no_decision(self):
+        pages = _pages()
+        recorder = ProvenanceRecorder()
+        observed = _replay(pages, recorder=recorder)
+        plain = _replay(pages)
+        assert observed.counter.hits == plain.counter.hits
+        assert observed.evictions == plain.evictions
+        assert observed.resident_pages == plain.resident_pages
+        assert recorder.evictions == observed.evictions
+
+    def test_identity_holds_with_crp(self):
+        pages = _pages()
+        recorder = ProvenanceRecorder()
+        observed = _replay(pages, recorder=recorder,
+                           correlated_reference_period=20)
+        plain = _replay(pages, correlated_reference_period=20)
+        assert observed.counter.hits == plain.counter.hits
+        assert observed.resident_pages == plain.resident_pages
+
+
+class TestRecorder:
+    def test_every_eviction_recorded_with_victim_on_top(self):
+        pages = _pages(count=1500)
+        recorder = ProvenanceRecorder(top_candidates=4)
+        simulator = _replay(pages, recorder=recorder)
+        assert len(recorder) == simulator.evictions
+        for decision in recorder.decisions:
+            chosen = [info for info in decision.candidates if info.chosen]
+            assert [info.page for info in chosen] == [decision.victim]
+            assert decision.considered >= 1
+            assert decision.dirty is False  # annotated by the driver
+
+    def test_find_prefers_exact_time_then_nearest(self):
+        recorder = ProvenanceRecorder()
+
+        def decision(time):
+            return EvictionDecision(
+                time=time, victim=7, victim_distance=1.0,
+                victim_hist=[1], victim_last=1, candidates=[],
+                considered=1, crp_excluded=[], crp_excluded_total=0,
+                excluded_total=0, forced=False, retained_history=False)
+
+        for time in (10, 50, 90):
+            recorder.record(decision(time), resident=[7])
+        assert recorder.find(7, at=50).time == 50
+        assert recorder.find(7, at=60).time == 50
+        assert recorder.find(7, at=75).time == 90
+        assert recorder.find(7).time == 90
+        assert recorder.find(7, at=1).time == 10
+        assert recorder.find(404) is None
+        assert [d.time for d in recorder.decisions_for(7)] == [10, 50, 90]
+
+    def test_max_decisions_bounds_memory_and_index(self):
+        pages = _pages(count=2000)
+        recorder = ProvenanceRecorder(max_decisions=16)
+        simulator = _replay(pages, recorder=recorder)
+        assert simulator.evictions > 16
+        assert len(recorder) == 16
+        indexed = sum(len(recorder.decisions_for(page))
+                      for page in {d.victim for d in recorder.decisions})
+        assert indexed == 16
+
+    def test_configuration_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            ProvenanceRecorder(top_candidates=0)
+        with pytest.raises(ConfigurationError):
+            ProvenanceRecorder(max_decisions=0)
+        with pytest.raises(ConfigurationError):
+            ProvenanceRecorder(next_use=lambda page, now: None)
+
+
+class TestBeladyRegret:
+    def test_oracle_annotation(self):
+        # Resident {1, 2}; 2 is next used sooner, so B0 evicts 1.
+        next_uses = {1: 100, 2: 20}
+        recorder = ProvenanceRecorder(
+            next_use=lambda page, now: next_uses.get(page), horizon=200)
+        decision = EvictionDecision(
+            time=10, victim=2, victim_distance=5.0, victim_hist=[9],
+            victim_last=9, candidates=[], considered=2, crp_excluded=[],
+            crp_excluded_total=0, excluded_total=0, forced=False,
+            retained_history=False)
+        recorder.record(decision, resident=[1, 2])
+        assert decision.belady_victim == 1
+        assert decision.belady_agrees is False
+        assert decision.regret == 80
+        assert recorder.total_regret == 80
+        assert recorder.belady_agreement_ratio == 0.0
+
+    def test_equally_never_used_pages_count_as_agreement(self):
+        recorder = ProvenanceRecorder(
+            next_use=lambda page, now: None, horizon=50)
+        decision = EvictionDecision(
+            time=5, victim=9, victim_distance=None, victim_hist=[1],
+            victim_last=1, candidates=[], considered=2, crp_excluded=[],
+            crp_excluded_total=0, excluded_total=0, forced=False,
+            retained_history=False)
+        recorder.record(decision, resident=[3, 9])
+        assert decision.belady_agrees is True
+        assert decision.regret == 0
+
+    def test_ratio_is_none_without_oracle(self):
+        assert ProvenanceRecorder().belady_agreement_ratio is None
+
+
+class TestRendering:
+    def test_summary_lines_name_the_mechanism(self):
+        pages = _pages(count=1500)
+        recorder = ProvenanceRecorder(top_candidates=3)
+        _replay(pages, recorder=recorder)
+        text = "\n".join(recorder.decisions[-1].summary_lines())
+        assert "backward K-distance" in text
+        assert "HIST(q,K)" in text
+        assert "candidates considered" in text
+        assert "<- evicted" in text
+
+
+class TestDecisionEvents:
+    def test_decision_events_reach_sinks_and_serialize(self):
+        pages = _pages(count=1500)
+        dispatcher = EventDispatcher()
+        ring = dispatcher.attach(RingBufferSink())
+        policy = LRUKPolicy(k=2)
+        policy.provenance = ProvenanceRecorder()
+        simulator = CacheSimulator(policy, 40, observability=dispatcher)
+        for page in pages:
+            simulator.access_page(page)
+        decisions = ring.events(kind="decision")
+        assert len(decisions) == simulator.evictions
+        record = json.loads(json.dumps(decisions[-1].to_dict()))
+        assert record["event"] == "decision"
+        assert record["victim"] == decisions[-1].victim
+        assert isinstance(record["candidates"], list)
+
+    def test_from_decision_flattens_candidates(self):
+        decision = EvictionDecision(
+            time=4, victim=1, victim_distance=None, victim_hist=[2, 0],
+            victim_last=2,
+            candidates=[CandidateInfo(page=1, kth_time=0,
+                                      last_uncorrelated=2,
+                                      backward_k_distance=None,
+                                      chosen=True)],
+            considered=1, crp_excluded=[5], crp_excluded_total=1,
+            excluded_total=0, forced=False, retained_history=True)
+        event = EvictionDecisionEvent.from_decision(decision)
+        assert event.retained_history is True
+        assert event.crp_excluded == 1
+        assert event.candidates[0]["chosen"] is True

@@ -1,0 +1,84 @@
+"""Registry totality fixes: empty-histogram percentiles, counter merging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import EventDispatcher, MetricsRegistry
+
+
+class TestEmptyHistogramPercentiles:
+    def test_quantile_of_empty_histogram_is_none(self):
+        # Regression: an empty histogram used to report its binning
+        # range's lower bound as every percentile — a configuration
+        # artifact masquerading as an observation.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", low=5.0, high=100.0)
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.99) is None
+
+    def test_registry_percentile_is_total(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", low=0.0, high=10.0)
+        assert registry.percentile("latency", 0.5) is None  # empty
+        assert registry.percentile("no-such-metric", 0.5) is None
+
+    def test_percentiles_appear_once_observed(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", low=0.0, high=10.0)
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        quantile = registry.percentile("latency", 0.5)
+        assert quantile is not None
+        assert 0.0 < quantile < 10.0
+
+    def test_empty_summary_omits_percentile_keys(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", low=5.0, high=100.0)
+        snapshot = registry.snapshot()
+        assert snapshot["latency.count"] == 0.0
+        assert "latency.p50" not in snapshot
+        assert "latency.p95" not in snapshot
+
+    def test_populated_summary_keeps_percentile_keys(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", low=0.0, high=10.0).observe(4.0)
+        snapshot = registry.snapshot()
+        assert "latency.p50" in snapshot and "latency.p99" in snapshot
+
+
+class TestCounterMerge:
+    def test_merge_counters_sums_worker_deltas(self):
+        parent = MetricsRegistry()
+        parent.counter("protocol.hits").inc(10)
+        worker_a = MetricsRegistry()
+        worker_a.counter("protocol.hits").inc(5)
+        worker_a.counter("protocol.misses").inc(2)
+        worker_b = MetricsRegistry()
+        worker_b.counter("protocol.hits").inc(1)
+        parent.merge_counters(worker_a.counter_values())
+        parent.merge_counters(worker_b.counter_values())
+        assert parent.counter_values() == {"protocol.hits": 16,
+                                           "protocol.misses": 2}
+
+    def test_merge_is_order_independent(self):
+        deltas = [{"a": 1, "b": 2}, {"a": 3}, {"b": 4}]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for delta in deltas:
+            forward.merge_counters(delta)
+        for delta in reversed(deltas):
+            backward.merge_counters(delta)
+        assert forward.counter_values() == backward.counter_values()
+
+    def test_merge_rejects_negative_deltas(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.merge_counters({"x": -1})
+
+
+class TestDispatcherMetricsSlot:
+    def test_dispatcher_carries_optional_registry(self):
+        dispatcher = EventDispatcher()
+        assert dispatcher.metrics is None
+        dispatcher.metrics = MetricsRegistry()
+        dispatcher.metrics.counter("x").inc()
+        assert dispatcher.metrics.counter_values() == {"x": 1}
