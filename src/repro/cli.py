@@ -25,13 +25,22 @@ Parallelism: ``--jobs N`` fans the sweep grid over N worker processes
 (:mod:`repro.sim.parallel`); results are identical to a serial run, and
 progress still narrates one line per completed cell. See
 docs/performance.md for the engine's observability trade-offs.
+
+Fault tolerance: failing sweep cells are retried with backoff and
+crashed worker pools are rebuilt automatically. ``--checkpoint PATH``
+records completed cells to a JSONL ledger as they finish; adding
+``--resume`` on a later invocation skips the recorded cells and appends
+the rest — an interrupted sweep (Ctrl-C exits with code 130 after
+salvaging completed cells) picks up where it left off and produces the
+identical table. See the "Fault tolerance" section of
+docs/performance.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional, Tuple
 
 from .analysis import profile_trace
@@ -58,7 +67,15 @@ from .obs import runtime as obs_runtime
 from .obs import trace as obs_trace
 from .obs.registry import MetricsRegistry
 from .obs.trace import Tracer, write_chrome_trace
-from .sim import default_jobs, explain_eviction, run_experiment
+from .sim import (
+    CellExecutionError,
+    SweepCheckpoint,
+    SweepInterrupted,
+    default_checkpoint,
+    default_jobs,
+    explain_eviction,
+    run_experiment,
+)
 from .sim.explain import EXPLAIN_WORKLOADS
 from .workloads import BankOLTPWorkload
 from .workloads.oltp import FIVE_MINUTE_WINDOW_REFERENCES, PAPER_TRACE_LENGTH
@@ -137,10 +154,33 @@ def _progress_to(dispatcher: EventDispatcher):
     return emitter
 
 
+def _open_checkpoint(path: Optional[str], resume: bool,
+                     narrate) -> Optional[SweepCheckpoint]:
+    """Open the ``--checkpoint`` ledger (resuming when asked)."""
+    if path is None:
+        return None
+    checkpoint = SweepCheckpoint(path, resume=resume)
+    if resume and checkpoint.resumed_cells:
+        narrate(f"resuming from {path}: "
+                f"{checkpoint.resumed_cells} checkpointed cell(s)")
+    return checkpoint
+
+
+def _report_sweep_failure(exc: Exception) -> int:
+    """Render a salvaged-sweep exit: 130 for interrupts, 1 for failures."""
+    if isinstance(exc, SweepInterrupted):
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    print(f"error: {exc}", file=sys.stderr)
+    return 1
+
+
 def _run_table(number: str, scale: float, repetitions: Optional[int],
                quiet: bool, compare: bool, chart: bool,
                metrics_out: Optional[str], timeline: bool,
-               jobs: int = 1, trace_out: Optional[str] = None) -> int:
+               jobs: int = 1, trace_out: Optional[str] = None,
+               checkpoint_path: Optional[str] = None,
+               resume: bool = False) -> int:
     builders = {
         "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
         "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
@@ -151,8 +191,17 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
     spec = builder(scale=scale, repetitions=reps)
     with _observability(quiet, metrics_out, timeline,
                         trace_out) as (obs, timeline_sink):
-        result = run_experiment(spec, progress=_progress_to(obs),
-                                observability=obs, jobs=jobs)
+        narrate = _progress_to(obs)
+        with ExitStack() as stack:
+            checkpoint = _open_checkpoint(checkpoint_path, resume, narrate)
+            if checkpoint is not None:
+                stack.enter_context(checkpoint)
+            try:
+                result = run_experiment(spec, progress=narrate,
+                                        observability=obs, jobs=jobs,
+                                        checkpoint=checkpoint)
+            except (SweepInterrupted, CellExecutionError) as exc:
+                return _report_sweep_failure(exc)
         if compare:
             print(comparison_table(result, paper_rows).render())
         else:
@@ -185,7 +234,9 @@ def _run_trace_stats(scale: float, quiet: bool) -> int:
 
 def _run_ablation(name: str, quiet: bool,
                   metrics_out: Optional[str], timeline: bool,
-                  jobs: int = 1, trace_out: Optional[str] = None) -> int:
+                  jobs: int = 1, trace_out: Optional[str] = None,
+                  checkpoint_path: Optional[str] = None,
+                  resume: bool = False) -> int:
     try:
         ablation = ABLATIONS[name]
     except KeyError:
@@ -194,11 +245,21 @@ def _run_ablation(name: str, quiet: bool,
         return 2
     with _observability(quiet, metrics_out, timeline,
                         trace_out) as (obs, timeline_sink):
-        _progress_to(obs)(f"running ablation {name} ...")
-        # Ablations build their sweeps internally; the ambient default
-        # routes --jobs to any sweep_buffer_sizes call below.
-        with default_jobs(jobs):
-            print(ablation().render())
+        narrate = _progress_to(obs)
+        narrate(f"running ablation {name} ...")
+        # Ablations build their sweeps internally; the ambient defaults
+        # route --jobs and --checkpoint to any sweep_buffer_sizes call
+        # below (each internal grid keyed by its own fingerprint).
+        with ExitStack() as stack:
+            stack.enter_context(default_jobs(jobs))
+            checkpoint = _open_checkpoint(checkpoint_path, resume, narrate)
+            if checkpoint is not None:
+                stack.enter_context(checkpoint)
+                stack.enter_context(default_checkpoint(checkpoint))
+            try:
+                print(ablation().render())
+            except (SweepInterrupted, CellExecutionError) as exc:
+                return _report_sweep_failure(exc)
         if timeline_sink is not None:
             print()
             print(timeline_sink.render())
@@ -236,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a Chrome trace-event JSON span timeline "
                  "(sweep -> cell -> simulate -> policy-hook; loadable in "
                  "Perfetto), including spans from --jobs workers")
+        command_parser.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="record completed sweep cells to this JSONL ledger as "
+                 "they finish (survives crashes and Ctrl-C)")
+        command_parser.add_argument(
+            "--resume", action="store_true",
+            help="skip cells already recorded in --checkpoint and append "
+                 "the rest (requires --checkpoint)")
 
     for number in ("4.1", "4.2", "4.3"):
         table = sub.add_parser(f"table{number}",
@@ -313,7 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint PATH")
     if args.command == "list":
         return _list_targets()
     if args.command == "trace-stats":
@@ -321,7 +393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ablation":
         return _run_ablation(args.name, args.quiet,
                              args.metrics_out, args.timeline,
-                             jobs=args.jobs, trace_out=args.trace_out)
+                             jobs=args.jobs, trace_out=args.trace_out,
+                             checkpoint_path=args.checkpoint,
+                             resume=args.resume)
     if args.command == "explain":
         report = explain_eviction(
             args.workload, args.seed, args.capacity, args.page,
@@ -350,7 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _run_table(number, args.scale, args.repetitions,
                       args.quiet, args.compare, args.chart,
                       args.metrics_out, args.timeline, jobs=args.jobs,
-                      trace_out=args.trace_out)
+                      trace_out=args.trace_out,
+                      checkpoint_path=args.checkpoint, resume=args.resume)
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ provenance guide.
 
 from .events import (
     AccessEvent,
+    CellFailureEvent,
     EvictionDecisionEvent,
     EvictionEvent,
     FlushEvent,
@@ -69,6 +70,7 @@ __all__ = [
     "SnapshotEvent",
     "WindowEvent",
     "ProgressEvent",
+    "CellFailureEvent",
     "victim_telemetry",
     "EventDispatcher",
     "Sink",

@@ -191,6 +191,29 @@ class ProgressEvent(ObsEvent):
     message: str
 
 
+@dataclass(frozen=True)
+class CellFailureEvent(ObsEvent):
+    """One sweep-grid cell attempt failed (see :mod:`repro.sim.recovery`).
+
+    ``failure`` is the classification (``crash`` / ``timeout`` /
+    ``error`` / ``poisoned``), ``attempt`` the 1-based number of attempts
+    consumed so far, and ``action`` what the engine does next:
+    ``retry`` (back into the pool with backoff), ``fallback``
+    (in-process serial re-run after the pool drains) or ``failed``
+    (recorded permanently; the sweep raises
+    :class:`~repro.sim.recovery.CellExecutionError` once it finishes).
+    """
+
+    kind = "cell-failure"
+
+    capacity: int
+    label: str
+    attempt: int
+    failure: str
+    error: str
+    action: str
+
+
 def victim_telemetry(policy: object, victim: PageId,
                      now: int) -> Tuple[Optional[float], Optional[bool]]:
     """Extract (backward_k_distance, history_informed) for an eviction.

@@ -83,6 +83,47 @@ class HistogramMetric:
         self._moments.add(value)
 
     @property
+    def low(self) -> float:
+        """Lower edge of the binning range."""
+        return self._histogram.low
+
+    @property
+    def high(self) -> float:
+        """Upper edge of the binning range."""
+        return self._histogram.high
+
+    @property
+    def bins(self) -> int:
+        """Number of uniform bins."""
+        return self._histogram.bins
+
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot: binning, per-bin counts, raw moments.
+
+        The process-boundary relay form (see
+        :meth:`MetricsRegistry.histogram_values`): bin counts and
+        observation counts merge exactly; the Welford mean merges via
+        the Chan parallel formula, which can differ from a sequential
+        fold in the last ulp.
+        """
+        return {"low": self._histogram.low, "high": self._histogram.high,
+                "bins": self._histogram.bins,
+                "counts": self._histogram.counts,
+                "moments": list(self._moments.state())}
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a relayed :meth:`state` snapshot into this instrument."""
+        if (state["low"], state["high"], state["bins"]) != (
+                self.low, self.high, self.bins):
+            raise ConfigurationError(
+                f"histogram {self.name!r} binning mismatch: cannot merge "
+                f"[{state['low']}, {state['high']})/{state['bins']} into "
+                f"[{self.low}, {self.high})/{self.bins}")
+        self._histogram.merge_counts(list(state["counts"]))
+        self._moments = self._moments.merge(
+            StreamingMoments.restore(tuple(state["moments"])))
+
+    @property
     def count(self) -> int:
         """Observations recorded so far."""
         return self._moments.count
@@ -150,7 +191,20 @@ class MetricsRegistry:
 
     def histogram(self, name: str, low: float, high: float,
                   bins: int = 64) -> HistogramMetric:
-        """Create a histogram instrument over ``[low, high)``."""
+        """Create (or fetch) the histogram instrument over ``[low, high)``.
+
+        Re-registering the same name with the *same* binning returns the
+        existing instrument (so per-run drivers and worker-relay merges
+        can both use get-or-create); a different binning raises.
+        """
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if (existing.low, existing.high, existing.bins) != (
+                    low, high, bins):
+                raise ConfigurationError(
+                    f"histogram {name!r} already registered with binning "
+                    f"[{existing.low}, {existing.high})/{existing.bins}")
+            return existing
         self._claim(name)
         histogram = self._histograms[name] = HistogramMetric(
             name, low, high, bins)
@@ -184,6 +238,32 @@ class MetricsRegistry:
         """
         for name, value in values.items():
             self.counter(name).inc(value)
+
+    def histogram_values(self) -> Dict[str, Dict[str, object]]:
+        """Every histogram's :meth:`~HistogramMetric.state` (worker relay).
+
+        The counterpart of :meth:`counter_values` for distribution
+        instruments, so ``--metrics-out`` histograms agree between
+        ``--jobs N`` and serial runs instead of silently dropping worker
+        observations. Gauges are deliberately *not* relayed: they are
+        live views of worker-local objects that die with the worker.
+        """
+        return {name: histogram.state()
+                for name, histogram in self._histograms.items()}
+
+    def merge_histograms(self, states: Dict[str, Dict[str, object]]) -> None:
+        """Fold relayed histogram states into this registry.
+
+        Bin counts and observation counts merge exactly (sums); means
+        merge via Chan's parallel formula. The sweep engine merges cell
+        states in sorted grid order so repeated runs produce identical
+        snapshots.
+        """
+        for name, state in states.items():
+            histogram = self.histogram(
+                name, float(state["low"]), float(state["high"]),
+                int(state["bins"]))
+            histogram.merge_state(state)
 
     def names(self) -> List[str]:
         """All registered instrument names, sorted."""

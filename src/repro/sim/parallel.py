@@ -12,7 +12,7 @@ requires the ``fork`` start method (standard on Linux): the grid inputs
 — workload, specs, and a :class:`~repro.sim.trace_cache.TraceCache`
 pre-warmed with every run seed's reference string — are published in a
 module-level registry *before* the pool forks, and workers inherit them
-copy-on-write. Each task submission then carries only three small
+copy-on-write. Each task submission then carries only a few small
 integers. Every seed's trace is materialized exactly once, in the
 parent, and shared read-only by all workers; no worker regenerates a
 reference string. On platforms without ``fork`` the engine degrades to
@@ -26,24 +26,41 @@ completion order, through the usual ``progress`` callback or as
 :class:`~repro.obs.events.ProgressEvent`s on the dispatcher — so
 ``--timeline``/``--quiet`` behave under ``--jobs N`` exactly as in
 serial mode.
+
+Execution is fault tolerant (see :mod:`repro.sim.recovery`): a crashed
+worker breaks only its cell, not the sweep. Failed cells are classified
+transient-vs-poisoned, retried with exponential backoff (the pool is
+rebuilt after a ``BrokenProcessPool``), bounded by an optional per-cell
+wall-clock timeout (enforced by reaping the pool — the only way to
+cancel a running pool task), and finally re-run in-process serially as
+graceful degradation. Completed cells stream into an optional
+:class:`~repro.sim.recovery.SweepCheckpoint`; a ``KeyboardInterrupt``
+salvages them (flushing the checkpoint and reaping workers) instead of
+orphaning the sweep. Failures surface as
+:class:`~repro.obs.events.CellFailureEvent`s and ``sweep.cell.*``
+counters on the usual observability channels.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..obs import runtime as obs_runtime
 from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
-from ..obs.events import ProgressEvent
+from ..obs.events import CellFailureEvent, ProgressEvent
 from ..obs.registry import MetricsRegistry
 from ..workloads.base import Workload
+from . import recovery
 from .runner import PolicySpec, ProtocolResult, run_paper_protocol
 from .trace_cache import TraceCache
 
@@ -106,7 +123,7 @@ class _SweepJob:
     #: Record spans in the worker and relay them to the parent tracer.
     trace: bool = False
     #: Accumulate metrics in a worker-local registry and relay the
-    #: counter values for the parent to merge.
+    #: counter values and histogram states for the parent to merge.
     collect_metrics: bool = False
 
 
@@ -116,14 +133,16 @@ class _CellOutput:
 
     The cell's :class:`ProtocolResult` plus the observability side
     channels: serialized spans (plain dicts, see
-    :meth:`repro.obs.trace.Tracer.serialize`) and the worker registry's
-    counter values. Both ride the existing pickle result channel — no
-    extra IPC machinery.
+    :meth:`repro.obs.trace.Tracer.serialize`), the worker registry's
+    counter values, and its histogram states (see
+    :meth:`repro.obs.registry.MetricsRegistry.histogram_values`). All
+    ride the existing pickle result channel — no extra IPC machinery.
     """
 
     result: ProtocolResult
     spans: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 #: Jobs visible to forked workers; keyed by a monotonically increasing id
@@ -132,7 +151,8 @@ _SHARED: Dict[int, _SweepJob] = {}
 _next_job_id = 0
 
 
-def _run_cell(job_id: int, spec_index: int, capacity: int) -> _CellOutput:
+def _run_cell(job_id: int, spec_index: int, capacity: int,
+              attempt: int = 0) -> _CellOutput:
     """Worker task: one (policy, capacity) cell of the grid."""
     # Forked workers inherit the parent's ambient dispatcher (and its
     # open file sinks) and the parent's ambient tracer; emitting through
@@ -141,6 +161,7 @@ def _run_cell(job_id: int, spec_index: int, capacity: int) -> _CellOutput:
     # workers clear both and build their own instruments when asked.
     obs_runtime.deactivate()
     obs_trace.deactivate()
+    recovery.chaos_hook(spec_index, capacity, attempt)
     job = _SHARED[job_id]
     registry = MetricsRegistry() if job.collect_metrics else None
 
@@ -161,7 +182,9 @@ def _run_cell(job_id: int, spec_index: int, capacity: int) -> _CellOutput:
         spans = []
     return _CellOutput(
         result=result, spans=spans,
-        counters=registry.counter_values() if registry is not None else {})
+        counters=registry.counter_values() if registry is not None else {},
+        histograms=(registry.histogram_values()
+                    if registry is not None else {}))
 
 
 # -- the engine ----------------------------------------------------------------
@@ -184,6 +207,91 @@ def _cell_line(capacity: int, label: str, result: ProtocolResult) -> str:
     return f"B={capacity:<6d} {label:<8s} C={result.hit_ratio:.4f}"
 
 
+@dataclass
+class _Flight:
+    """One in-flight cell attempt submitted to the pool."""
+
+    capacity: int
+    index: int
+    attempt: int
+    deadline: Optional[float]
+
+
+class _GridRun:
+    """State and helpers shared by the serial and resilient executors."""
+
+    def __init__(self, workload: Workload, specs: Sequence[PolicySpec],
+                 retry: recovery.RetryPolicy,
+                 checkpoint: Optional[recovery.SweepCheckpoint],
+                 fingerprint: Optional[str],
+                 progress: Optional[Callable[[str], None]],
+                 observability: Optional[EventDispatcher]) -> None:
+        self.workload = workload
+        self.specs = specs
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.fingerprint = fingerprint
+        self.progress = progress
+        self.observability = observability
+        self.obs = obs_runtime.resolve(observability)
+        self.registry: Optional[MetricsRegistry] = (
+            getattr(self.obs, "metrics", None)
+            if self.obs is not None else None)
+        self.results: GridResults = {}
+        self.failures: List[recovery.CellFailure] = []
+
+    def complete(self, capacity: int, label: str, result: ProtocolResult,
+                 narrate: bool = True) -> None:
+        """Record one finished cell: results, checkpoint, narration."""
+        self.results[(capacity, label)] = result
+        if self.checkpoint is not None and self.fingerprint is not None:
+            self.checkpoint.record(self.fingerprint, result)
+        if narrate:
+            _narrate(_cell_line(capacity, label, result),
+                     self.progress, self.observability)
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None and amount:
+            self.registry.counter(name).inc(amount)
+
+    def report_failure(self, capacity: int, index: int, attempt: int,
+                       kind: str, error: str, action: str) -> None:
+        """Emit the structured failure event and bump its counters.
+
+        ``attempt`` is the 1-based number of attempts consumed so far;
+        ``action`` is what the engine does next: ``"retry"`` (back into
+        the pool), ``"fallback"`` (in-process serial re-run) or
+        ``"failed"`` (recorded as a permanent :class:`CellFailure`).
+        """
+        label = self.specs[index].label
+        if self.obs is not None and self.obs.active:
+            self.obs.emit(CellFailureEvent(
+                capacity=capacity, label=label, attempt=attempt,
+                failure=kind, error=error, action=action))
+        if kind == recovery.TIMEOUT:
+            self.counter("sweep.cell.timeouts")
+        if action == "retry":
+            self.counter("sweep.cell.retries")
+        elif action == "fallback":
+            self.counter("sweep.cell.fallbacks")
+        elif action == "failed":
+            self.counter("sweep.cell.failures")
+
+    def salvage(self) -> "recovery.SweepInterrupted":
+        """Flush the checkpoint and wrap the completed cells for re-raise."""
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+        return recovery.SweepInterrupted(self.results)
+
+    def finish(self) -> GridResults:
+        """Raise if any cell failed permanently, else hand back the grid."""
+        if self.failures:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
+            raise recovery.CellExecutionError(self.failures, self.results)
+        return self.results
+
+
 def run_grid(workload: Workload,
              specs: Sequence[PolicySpec],
              capacities: Sequence[int],
@@ -191,82 +299,405 @@ def run_grid(workload: Workload,
              measured: int,
              seed: int = 0,
              repetitions: int = 1,
-             jobs: int = 2,
+             jobs: Optional[int] = None,
              trace_cache: Optional[TraceCache] = None,
              progress: Optional[Callable[[str], None]] = None,
-             observability: Optional[EventDispatcher] = None
+             observability: Optional[EventDispatcher] = None,
+             retry: Optional[recovery.RetryPolicy] = None,
+             checkpoint: Optional[recovery.SweepCheckpoint] = None
              ) -> GridResults:
     """Run every (policy, capacity) cell of a grid, ``jobs`` at a time.
 
     Returns ``{(capacity, label): ProtocolResult}`` — an order-free shape
     the caller assembles into its own row structure, making the merge
-    deterministic regardless of completion order. Falls back to
-    in-process execution (still sharing one trace cache) when process
-    parallelism is unavailable.
+    deterministic regardless of completion order. ``jobs=None`` resolves
+    through the ambient :func:`default_jobs` (1 — serial — unless a
+    caller activated a default), and the engine falls back to in-process
+    execution (still sharing one trace cache) when process parallelism
+    is unavailable.
+
+    ``retry`` and ``checkpoint`` default to the ambient
+    :func:`repro.sim.recovery.default_retry` /
+    :func:`~repro.sim.recovery.default_checkpoint` configuration. Cells
+    already present in the checkpoint (matched by grid fingerprint) are
+    returned without re-running; newly completed cells are appended as
+    they finish. A ``KeyboardInterrupt`` raises
+    :class:`~repro.sim.recovery.SweepInterrupted` carrying every
+    completed cell; permanently failed cells raise
+    :class:`~repro.sim.recovery.CellExecutionError` — in both cases
+    after the checkpoint is flushed, so no completed work is lost.
     """
-    global _next_job_id
+    jobs = resolve_jobs(jobs)
+    retry = recovery.resolve_retry(retry)
+    checkpoint = recovery.resolve_checkpoint(checkpoint)
+    owns_cache = trace_cache is None
     cache = trace_cache if trace_cache is not None else TraceCache()
+    try:
+        return _run_grid(workload, specs, capacities, warmup, measured,
+                         seed, repetitions, jobs, cache, progress,
+                         observability, retry, checkpoint)
+    finally:
+        if owns_cache:
+            # The cache pins workloads and materialized arrays by id();
+            # a grid-local cache must not outlive the grid.
+            cache.clear()
+
+
+def _run_grid(workload: Workload, specs: Sequence[PolicySpec],
+              capacities: Sequence[int], warmup: int, measured: int,
+              seed: int, repetitions: int, jobs: int, cache: TraceCache,
+              progress: Optional[Callable[[str], None]],
+              observability: Optional[EventDispatcher],
+              retry: recovery.RetryPolicy,
+              checkpoint: Optional[recovery.SweepCheckpoint]) -> GridResults:
+    global _next_job_id
+    fingerprint = None
+    if checkpoint is not None:
+        fingerprint = recovery.grid_fingerprint(
+            workload, specs, capacities, warmup, measured, seed, repetitions)
+    run = _GridRun(workload, specs, retry, checkpoint, fingerprint,
+                   progress, observability)
+
+    order = [(capacity, index) for capacity in capacities
+             for index in range(len(specs))]
+    if checkpoint is not None:
+        for key, result in checkpoint.completed(fingerprint).items():
+            run.results[key] = result
+        remaining = [(capacity, index) for capacity, index in order
+                     if (capacity, specs[index].label) not in run.results]
+    else:
+        remaining = order
+    if not remaining:
+        return run.results
+
     total = warmup + measured
     # Materialize every run seed's trace once, pre-fork: workers inherit
     # the compact arrays copy-on-write instead of regenerating them.
     for repetition in range(repetitions):
         cache.get(workload, total, seed + repetition)
 
-    order = [(capacity, index) for capacity in capacities
-             for index in range(len(specs))]
-    results: GridResults = {}
+    if jobs <= 1 or not fork_available() or len(remaining) <= 1:
+        return _execute_serial(run, remaining, workload, warmup, measured,
+                               seed, repetitions, cache)
 
-    if jobs <= 1 or not fork_available() or len(order) <= 1:
-        for capacity, index in order:
-            spec = specs[index]
-            with obs_trace.maybe_span("cell", capacity=capacity,
-                                      policy=spec.label):
-                result = run_paper_protocol(
-                    workload, spec, capacity, warmup, measured, seed=seed,
-                    repetitions=repetitions, observability=observability,
-                    trace_cache=cache)
-            results[(capacity, spec.label)] = result
-            _narrate(_cell_line(capacity, spec.label, result),
-                     progress, observability)
-        return results
-
-    obs = obs_runtime.resolve(observability)
     tracer = obs_trace.current()
-    registry = getattr(obs, "metrics", None) if obs is not None else None
     job = _SweepJob(workload=workload, specs=specs, warmup=warmup,
                     measured=measured, seed=seed, repetitions=repetitions,
                     trace_cache=cache, trace=tracer is not None,
-                    collect_metrics=registry is not None)
+                    collect_metrics=run.registry is not None)
     job_id = _next_job_id
     _next_job_id += 1
     _SHARED[job_id] = job
-    # Flush the parent's sinks before forking: a child inheriting
-    # buffered-but-unwritten file output would duplicate it at exit.
-    if obs is not None:
-        obs.flush()
-    context = multiprocessing.get_context("fork")
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(order)),
-                                 mp_context=context) as pool:
-            pending = {
-                pool.submit(_run_cell, job_id, index, capacity):
-                    (capacity, specs[index].label)
-                for capacity, index in order}
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    capacity, label = pending.pop(future)
-                    output = future.result()
-                    results[(capacity, label)] = output.result
-                    if tracer is not None:
-                        _absorb_cell(tracer, output.spans, capacity, label)
-                    if registry is not None and output.counters:
-                        registry.merge_counters(output.counters)
-                    _narrate(_cell_line(capacity, label, output.result),
-                             progress, observability)
+        return _execute_resilient(run, remaining, job_id, jobs, tracer,
+                                  workload, warmup, measured, seed,
+                                  repetitions, cache)
     finally:
         _SHARED.pop(job_id, None)
-    return results
+
+
+def _execute_serial(run: _GridRun, remaining: Sequence[Tuple[int, int]],
+                    workload: Workload, warmup: int, measured: int,
+                    seed: int, repetitions: int,
+                    cache: TraceCache) -> GridResults:
+    """In-process execution with the same retry and salvage semantics."""
+    try:
+        for capacity, index in remaining:
+            spec = run.specs[index]
+            attempt = 0
+            while True:
+                try:
+                    with obs_trace.maybe_span("cell", capacity=capacity,
+                                              policy=spec.label):
+                        result = run_paper_protocol(
+                            workload, spec, capacity, warmup, measured,
+                            seed=seed, repetitions=repetitions,
+                            observability=run.observability,
+                            trace_cache=cache)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    kind, transient = recovery.classify(exc)
+                    attempt += 1
+                    if transient and attempt < run.retry.max_attempts:
+                        run.report_failure(capacity, index, attempt, kind,
+                                           repr(exc), action="retry")
+                        run.retry.backoff(attempt - 1)
+                        continue
+                    run.report_failure(capacity, index, attempt, kind,
+                                       repr(exc), action="failed")
+                    run.failures.append(recovery.CellFailure(
+                        capacity=capacity, label=spec.label,
+                        attempts=attempt, kind=kind, error=repr(exc)))
+                    break
+                run.complete(capacity, spec.label, result)
+                break
+    except KeyboardInterrupt:
+        raise run.salvage() from None
+    return run.finish()
+
+
+def _execute_resilient(run: _GridRun, remaining: Sequence[Tuple[int, int]],
+                       job_id: int, jobs: int,
+                       tracer: Optional["obs_trace.Tracer"],
+                       workload: Workload, warmup: int, measured: int,
+                       seed: int, repetitions: int,
+                       cache: TraceCache) -> GridResults:
+    """Pool execution with per-cell isolation, retries, and timeouts.
+
+    At most ``workers`` cells are submitted at a time (a sliding window)
+    so a per-cell deadline measures *execution* wall clock, not queue
+    time. A ``BrokenProcessPool`` cannot be attributed to one cell, so
+    every in-flight cell's attempt count advances and the pool is
+    rebuilt; an expired deadline reaps the pool (the only way to cancel
+    a running task) but penalizes only the cell that timed out. Cells
+    that exhaust their attempts collect into a fallback list executed
+    in-process after the pool drains, so degraded cells never starve
+    healthy ones.
+    """
+    workers = min(jobs, len(remaining))
+    queue: Deque[Tuple[int, int, int]] = deque(
+        (capacity, index, 0) for capacity, index in remaining)
+    fallback: List[Tuple[int, int]] = []
+    #: Worker histogram states, buffered and merged in grid order at the
+    #: end so parallel metric merges are deterministic.
+    histogram_states: Dict[Tuple[int, str], Dict[str, Dict[str, object]]] = {}
+    context = multiprocessing.get_context("fork")
+    pool: Optional[ProcessPoolExecutor] = None
+    crash_streak = 0
+
+    def build_pool() -> ProcessPoolExecutor:
+        # Flush the parent's sinks before forking: a child inheriting
+        # buffered-but-unwritten file output would duplicate it at exit.
+        if run.obs is not None:
+            run.obs.flush()
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    def absorb(flight: _Flight, output: _CellOutput) -> None:
+        nonlocal crash_streak
+        crash_streak = 0
+        label = run.specs[flight.index].label
+        if tracer is not None:
+            _absorb_cell(tracer, output.spans, flight.capacity, label)
+        if run.registry is not None and output.counters:
+            run.registry.merge_counters(output.counters)
+        if output.histograms:
+            histogram_states[(flight.capacity, label)] = output.histograms
+        run.complete(flight.capacity, label, output.result)
+
+    def requeue(flight: _Flight, kind: str, error: str,
+                penalize: bool = True) -> None:
+        """Route a failed attempt: retry, fallback, or permanent failure."""
+        attempt = flight.attempt + 1 if penalize else flight.attempt
+        if not penalize:
+            queue.append((flight.capacity, flight.index, attempt))
+            return
+        transient = kind in (recovery.CRASH, recovery.TIMEOUT,
+                             recovery.ERROR)
+        if transient and attempt < run.retry.max_attempts:
+            run.report_failure(flight.capacity, flight.index, attempt,
+                               kind, error, action="retry")
+            queue.append((flight.capacity, flight.index, attempt))
+        elif run.retry.fallback_serial and kind != recovery.POISONED:
+            run.report_failure(flight.capacity, flight.index, attempt,
+                               kind, error, action="fallback")
+            fallback.append((flight.capacity, flight.index))
+        else:
+            run.report_failure(flight.capacity, flight.index, attempt,
+                               kind, error, action="failed")
+            run.failures.append(recovery.CellFailure(
+                capacity=flight.capacity,
+                label=run.specs[flight.index].label,
+                attempts=attempt, kind=kind, error=error))
+
+    def drain_after_crash(window: Dict[Future, _Flight],
+                          error: str) -> None:
+        """Settle every in-flight cell once the pool is known broken."""
+        nonlocal crash_streak
+        for future, flight in list(window.items()):
+            del window[future]
+            if future.done() and not future.cancelled():
+                try:
+                    absorb(flight, future.result())
+                    continue
+                except KeyboardInterrupt:
+                    raise
+                except BaseException:
+                    pass
+            else:
+                future.cancel()
+            requeue(flight, recovery.CRASH, error)
+        run.counter("sweep.pool.rebuilds")
+        run.retry.backoff(crash_streak)
+        crash_streak += 1
+
+    try:
+        while queue:
+            pool = build_pool()
+            window: Dict[Future, _Flight] = {}
+            rebuild = False
+            try:
+                while (queue or window) and not rebuild:
+                    while queue and len(window) < workers:
+                        capacity, index, attempt = queue.popleft()
+                        try:
+                            future = pool.submit(_run_cell, job_id, index,
+                                                 capacity, attempt)
+                        except (BrokenProcessPool, RuntimeError) as exc:
+                            queue.appendleft((capacity, index, attempt))
+                            drain_after_crash(window, repr(exc))
+                            rebuild = True
+                            break
+                        deadline = (time.monotonic() + run.retry.timeout
+                                    if run.retry.timeout is not None
+                                    else None)
+                        window[future] = _Flight(capacity, index, attempt,
+                                                 deadline)
+                    if rebuild or not window:
+                        continue
+                    timeout = None
+                    if run.retry.timeout is not None:
+                        timeout = max(0.0, min(
+                            flight.deadline for flight in window.values()
+                            if flight.deadline is not None)
+                            - time.monotonic())
+                    done, _ = wait(window, timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+                    if not done:
+                        rebuild = _handle_timeouts(run, window, requeue,
+                                                   absorb)
+                        continue
+                    crashed: Optional[str] = None
+                    for future in done:
+                        flight = window.pop(future)
+                        try:
+                            output = future.result()
+                        except KeyboardInterrupt:
+                            raise
+                        except BaseException as exc:
+                            kind, _ = recovery.classify(exc)
+                            if kind == recovery.CRASH:
+                                crashed = repr(exc)
+                                requeue(flight, kind, repr(exc))
+                            else:
+                                requeue(flight, kind, repr(exc))
+                                if kind == recovery.ERROR:
+                                    run.retry.backoff(flight.attempt)
+                            continue
+                        absorb(flight, output)
+                    if crashed is not None:
+                        drain_after_crash(window, crashed)
+                        rebuild = True
+            except KeyboardInterrupt:
+                # Do NOT fall through to the graceful shutdown below: it
+                # waits for running tasks, and a hung cell would stall
+                # the interrupt until its sleep expires.
+                _reap(pool)
+                pool = None
+                raise
+            finally:
+                if pool is not None:
+                    if rebuild:
+                        _reap(pool)
+                    else:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                    pool = None
+    except KeyboardInterrupt:
+        if pool is not None:
+            _reap(pool)
+        raise run.salvage() from None
+
+    # Graceful degradation: cells that exhausted their pool attempts run
+    # in-process, serially, under the parent's full observability — a
+    # clean traceback for broken cells and relief from the parallel
+    # memory pressure that kills OOM-prone ones.
+    for capacity, index in fallback:
+        spec = run.specs[index]
+        try:
+            with obs_trace.maybe_span("cell", capacity=capacity,
+                                      policy=spec.label, fallback=True):
+                result = run_paper_protocol(
+                    workload, spec, capacity, warmup, measured, seed=seed,
+                    repetitions=repetitions,
+                    observability=run.observability, trace_cache=cache)
+        except KeyboardInterrupt:
+            raise run.salvage() from None
+        except Exception as exc:
+            kind, _ = recovery.classify(exc)
+            run.report_failure(capacity, index, run.retry.max_attempts + 1,
+                               kind, repr(exc), action="failed")
+            run.failures.append(recovery.CellFailure(
+                capacity=capacity, label=spec.label,
+                attempts=run.retry.max_attempts + 1, kind=kind,
+                error=repr(exc)))
+            continue
+        run.counter("sweep.cell.recovered")
+        run.complete(capacity, spec.label, result)
+
+    if run.registry is not None:
+        for key in sorted(histogram_states):
+            run.registry.merge_histograms(histogram_states[key])
+    return run.finish()
+
+
+def _handle_timeouts(run: _GridRun, window: Dict[Future, _Flight],
+                     requeue: Callable[..., None],
+                     absorb: Callable[[_Flight, _CellOutput], None]) -> bool:
+    """Settle expired deadlines; True when the pool must be rebuilt.
+
+    A deadline that fires while the task is merely queued is cancelled
+    and resubmitted without penalty; a *running* task can only be
+    cancelled by reaping the whole pool, so innocent in-flight cells are
+    requeued with their attempt count unchanged.
+    """
+    now = time.monotonic()
+    expired = {future for future, flight in window.items()
+               if flight.deadline is not None and flight.deadline <= now}
+    if not expired:
+        return False
+    must_reap = False
+    for future in expired:
+        flight = window.pop(future)
+        if future.cancel():
+            requeue(flight, recovery.TIMEOUT, "", penalize=False)
+            continue
+        must_reap = True
+        requeue(flight, recovery.TIMEOUT,
+                f"cell exceeded {run.retry.timeout:.3f}s wall clock")
+    if not must_reap:
+        return False
+    for future, flight in list(window.items()):
+        del window[future]
+        if future.done() and not future.cancelled():
+            try:
+                absorb(flight, future.result())
+                continue
+            except KeyboardInterrupt:
+                raise
+            except BaseException:
+                pass
+        else:
+            future.cancel()
+        requeue(flight, recovery.TIMEOUT, "", penalize=False)
+    run.counter("sweep.pool.rebuilds")
+    return True
+
+
+def _reap(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers instead of waiting on a hung task.
+
+    ``shutdown`` alone would block until running tasks finish — which a
+    hung or chaos-injected cell never does — so the worker processes are
+    terminated first. Reaches into ``_processes`` (no public API exposes
+    the workers); guarded so a future stdlib change degrades to a plain
+    shutdown.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.join(timeout=5.0)
 
 
 def _absorb_cell(tracer: "obs_trace.Tracer",

@@ -275,6 +275,12 @@ def _record_protocol_counters(registry: MetricsRegistry,
     counter("protocol.misses").inc(measured.misses)
     counter("protocol.evictions").inc(simulator.evictions)
     counter("protocol.writebacks").inc(simulator.writebacks)
+    # Hit ratios are bounded in [0, 1], so a fixed binning is exact for
+    # relay: forked sweep workers ship bin counts + raw moments and the
+    # parent merges them (see MetricsRegistry.merge_histograms), keeping
+    # --metrics-out distributions identical under --jobs N and serial.
+    registry.histogram("protocol.run_hit_ratio", 0.0, 1.0).observe(
+        simulator.hit_ratio)
     stats = getattr(simulator.policy, "stats", None)
     if stats is not None and is_dataclass(stats):
         for spec in dataclass_fields(stats):

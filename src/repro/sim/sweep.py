@@ -10,8 +10,8 @@ from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
 from ..stats import ConfidenceInterval
 from ..workloads.base import Workload
-from . import parallel
-from .runner import PolicySpec, ProtocolResult, run_paper_protocol
+from . import parallel, recovery
+from .runner import PolicySpec, ProtocolResult
 from .trace_cache import TraceCache
 
 
@@ -41,20 +41,29 @@ def sweep_buffer_sizes(workload: Workload,
                        progress: Optional[callable] = None,
                        observability: Optional[EventDispatcher] = None,
                        jobs: Optional[int] = None,
-                       trace_cache: Optional[TraceCache] = None
+                       trace_cache: Optional[TraceCache] = None,
+                       retry: Optional[recovery.RetryPolicy] = None,
+                       checkpoint: Optional[recovery.SweepCheckpoint] = None
                        ) -> List[SweepCell]:
     """Run every (policy, capacity) cell of a table.
 
     All cells share one :class:`~repro.sim.trace_cache.TraceCache`, so
     each seed's reference string is materialized exactly once for the
     whole sweep (pass ``trace_cache`` to extend the sharing further,
-    e.g. to equi-effective probes).
+    e.g. to equi-effective probes). A cache created here is cleared when
+    the sweep finishes — including the failure and interrupt paths — so
+    sweeps in a long-lived process do not pin workloads forever.
 
     ``jobs`` fans the grid out over that many worker processes via
     :mod:`repro.sim.parallel`; ``None`` uses the ambient default set by
     :func:`repro.sim.parallel.default_jobs` (1 — serial — unless the CLI
     was invoked with ``--jobs``). Results are merged deterministically:
     a parallel sweep returns cells equal to a serial one.
+
+    Execution is fault tolerant: failing cells are retried per ``retry``
+    (default: the ambient :func:`repro.sim.recovery.default_retry`
+    policy) and completed cells stream into ``checkpoint`` when one is
+    given or ambiently active — see :mod:`repro.sim.recovery`.
 
     ``progress``, when given, is called with a human-readable string after
     each cell — the CLI uses it for live feedback on long sweeps. Under
@@ -70,37 +79,24 @@ def sweep_buffer_sizes(workload: Workload,
         raise ConfigurationError(f"duplicate policy labels: {labels}")
 
     jobs = parallel.resolve_jobs(jobs)
+    owns_cache = trace_cache is None
     cache = trace_cache if trace_cache is not None else TraceCache()
 
-    with obs_trace.maybe_span(
-            "sweep", workload=type(workload).__name__,
-            policies=labels, capacities=list(capacities),
-            repetitions=repetitions, jobs=jobs):
-        if jobs > 1:
+    try:
+        with obs_trace.maybe_span(
+                "sweep", workload=type(workload).__name__,
+                policies=labels, capacities=list(capacities),
+                repetitions=repetitions, jobs=jobs):
             grid = parallel.run_grid(
                 workload, specs, capacities, warmup, measured,
                 seed=seed, repetitions=repetitions, jobs=jobs,
                 trace_cache=cache, progress=progress,
-                observability=observability)
-            return [SweepCell(capacity=capacity,
-                              results={spec.label:
-                                       grid[(capacity, spec.label)]
-                                       for spec in specs})
-                    for capacity in capacities]
-
-        cells: List[SweepCell] = []
-        for capacity in capacities:
-            cell = SweepCell(capacity=capacity)
-            for spec in specs:
-                with obs_trace.maybe_span("cell", capacity=capacity,
-                                          policy=spec.label):
-                    result = run_paper_protocol(
-                        workload, spec, capacity, warmup, measured,
-                        seed=seed, repetitions=repetitions,
-                        observability=observability, trace_cache=cache)
-                cell.results[spec.label] = result
-                if progress is not None:
-                    progress(f"B={capacity:<6d} {spec.label:<8s} "
-                             f"C={result.hit_ratio:.4f}")
-            cells.append(cell)
-        return cells
+                observability=observability, retry=retry,
+                checkpoint=checkpoint)
+    finally:
+        if owns_cache:
+            cache.clear()
+    return [SweepCell(capacity=capacity,
+                      results={spec.label: grid[(capacity, spec.label)]
+                               for spec in specs})
+            for capacity in capacities]

@@ -86,10 +86,17 @@ class CachedTrace:
         return self._pages
 
     def references(self) -> List[Reference]:
-        """Full ``Reference`` objects, reconstructed lazily for plain traces."""
-        if self._references is None:
-            self._references = [Reference(page=page) for page in self._pages]
-        return self._references
+        """Full ``Reference`` objects, reconstructed lazily for plain traces.
+
+        For a plain trace the rebuilt list is *not* retained: caching it
+        would pin ~100 bytes per reference for the rest of the sweep and
+        flip :attr:`plain` off, losing the compact-array fast path for
+        every later consumer. Callers that need the list repeatedly
+        should keep their own reference to it.
+        """
+        if self._references is not None:
+            return self._references
+        return [Reference(page=page) for page in self._pages]
 
 
 #: Cache key: (workload identity, reference count, seed).

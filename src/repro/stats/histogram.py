@@ -55,6 +55,21 @@ class Histogram:
         """A copy of the per-bin counts."""
         return list(self._counts)
 
+    def merge_counts(self, counts: List[int]) -> None:
+        """Fold another same-shaped histogram's per-bin counts into this one.
+
+        Bin counts are sums, so the merge is exact and order-independent
+        — how forked sweep workers' histogram state reaches the parent.
+        """
+        if len(counts) != self.bins:
+            raise ConfigurationError(
+                f"cannot merge {len(counts)} bins into {self.bins}")
+        for index, count in enumerate(counts):
+            if count < 0:
+                raise ConfigurationError("bin counts cannot be negative")
+            self._counts[index] += count
+            self._total += count
+
     def bin_edges(self) -> List[float]:
         """The bins+1 edges of the histogram."""
         return [self.low + i * self._width for i in range(self.bins + 1)]

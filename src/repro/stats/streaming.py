@@ -9,7 +9,7 @@ Welford's online algorithm.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 
 class StreamingMoments:
@@ -56,6 +56,24 @@ class StreamingMoments:
         merged._m2 = (self._m2 + other._m2
                       + delta * delta * self._count * other._count / count)
         return merged
+
+    def state(self) -> Tuple[int, float, float]:
+        """The raw ``(count, mean, m2)`` accumulator state.
+
+        A picklable snapshot for process-boundary relays; feed it to
+        :meth:`restore` on the far side and merge as usual.
+        """
+        return (self._count, self._mean, self._m2)
+
+    @classmethod
+    def restore(cls, state: Tuple[int, float, float]) -> "StreamingMoments":
+        """Rebuild an accumulator from a :meth:`state` snapshot."""
+        count, mean, m2 = state
+        moments = cls()
+        moments._count = int(count)
+        moments._mean = float(mean)
+        moments._m2 = float(m2)
+        return moments
 
     @property
     def count(self) -> int:

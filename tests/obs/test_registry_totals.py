@@ -82,3 +82,68 @@ class TestDispatcherMetricsSlot:
         dispatcher.metrics = MetricsRegistry()
         dispatcher.metrics.counter("x").inc()
         assert dispatcher.metrics.counter_values() == {"x": 1}
+
+
+class TestHistogramRelay:
+    def _observed(self, registry, name, values):
+        histogram = registry.histogram(name, low=0.0, high=10.0, bins=20)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_histogram_get_or_fetch_same_binning(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("latency", low=0.0, high=10.0)
+        assert registry.histogram("latency", low=0.0, high=10.0) is first
+
+    def test_histogram_rebinning_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", low=0.0, high=10.0)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("latency", low=0.0, high=20.0)
+
+    def test_merge_histograms_sums_worker_state(self):
+        parent, worker_a, worker_b = (MetricsRegistry() for _ in range(3))
+        self._observed(worker_a, "latency", [1.0, 2.0, 3.0])
+        self._observed(worker_b, "latency", [4.0, 5.0])
+        parent.merge_histograms(worker_a.histogram_values())
+        parent.merge_histograms(worker_b.histogram_values())
+        merged = parent.histogram("latency", low=0.0, high=10.0, bins=20)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(3.0)
+        # Bin counts merge exactly, so quantiles equal a sequential fold.
+        sequential = MetricsRegistry()
+        self._observed(sequential, "latency", [1.0, 2.0, 3.0, 4.0, 5.0])
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == \
+                sequential.histogram("latency", 0.0, 10.0, 20).quantile(q)
+
+    def test_merge_into_populated_parent(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        self._observed(parent, "latency", [1.0])
+        self._observed(worker, "latency", [9.0])
+        parent.merge_histograms(worker.histogram_values())
+        merged = parent.histogram("latency", low=0.0, high=10.0, bins=20)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(5.0)
+
+    def test_merge_rejects_binning_mismatch(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("latency", low=0.0, high=10.0, bins=20)
+        worker.histogram("latency", low=0.0, high=10.0, bins=40)
+        with pytest.raises(ConfigurationError):
+            parent.merge_histograms(worker.histogram_values())
+
+    def test_state_survives_json_round_trip(self):
+        import json
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        self._observed(worker, "latency", [2.5, 7.5])
+        relayed = json.loads(json.dumps(worker.histogram_values()))
+        parent.merge_histograms(relayed)
+        assert parent.histogram("latency", 0.0, 10.0, 20).count == 2
+
+    def test_gauges_are_not_relayed(self):
+        worker = MetricsRegistry()
+        worker.gauge("live", lambda: 42.0)
+        assert worker.histogram_values() == {}
+        assert worker.counter_values() == {}

@@ -66,7 +66,11 @@ class TestCachedTrace:
         rebuilt = trace.references()
         assert rebuilt == [Reference(page=1), Reference(page=2),
                            Reference(page=3)]
-        assert trace.references() is rebuilt  # memoized
+        # The rebuilt list is NOT retained: caching it would pin a full
+        # Reference object per page id and flip the trace off its
+        # compact fast path for the rest of the sweep.
+        assert trace.references() is not rebuilt
+        assert trace.plain
 
     def test_metadata_trace_keeps_references(self):
         workload = BankOLTPWorkload()
@@ -236,6 +240,37 @@ class TestParallelProgress:
         _table_42_grid(3, jobs=1, progress=serial_lines.append)
         _table_42_grid(3, jobs=2, progress=parallel_lines.append)
         assert sorted(serial_lines) == sorted(parallel_lines)
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="parallel engine needs the fork start method")
+class TestParallelMetricsParity:
+    def _snapshot(self, jobs):
+        from repro.obs.registry import MetricsRegistry
+        dispatcher = EventDispatcher()
+        dispatcher.attach(CallbackSink(lambda event, context: None))
+        dispatcher.metrics = MetricsRegistry()
+        _table_42_grid(0, jobs=jobs, observability=dispatcher)
+        return dispatcher.metrics.snapshot()
+
+    def test_metrics_out_identical_under_jobs(self):
+        serial = self._snapshot(jobs=1)
+        fanned = self._snapshot(jobs=4)
+        assert set(serial) == set(fanned)
+        for key, value in serial.items():
+            if key.endswith(".mean"):
+                # Welford means merge via Chan's parallel formula — equal
+                # up to floating-point association, not bit-for-bit.
+                assert fanned[key] == pytest.approx(value)
+            else:
+                # Counters and histogram counts/quantiles merge exactly.
+                assert fanned[key] == value
+
+    def test_worker_histograms_reach_metrics_snapshot(self):
+        fanned = self._snapshot(jobs=2)
+        cells = 3 * len(GRID_SPECS) * 2  # capacities x policies x reps
+        assert fanned["protocol.run_hit_ratio.count"] == cells
+        assert 0.0 < fanned["protocol.run_hit_ratio.p50"] < 1.0
 
 
 @pytest.mark.skipif(not fork_available(),

@@ -1,0 +1,526 @@
+"""Fault-tolerant sweep execution: retries, chaos, checkpoints, resume."""
+
+import json
+import os
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import CallbackSink, CellFailureEvent, EventDispatcher
+from repro.obs.registry import MetricsRegistry
+from repro.policies import make_policy
+from repro.sim import (
+    CellExecutionError,
+    PolicySpec,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepInterrupted,
+    TraceCache,
+    fork_available,
+    grid_fingerprint,
+    run_experiment,
+    run_grid,
+    sweep_buffer_sizes,
+)
+from repro.sim import experiment as experiment_module
+from repro.sim import recovery, sweep
+from repro.sim.recovery import (
+    ChaosError,
+    chaos_hook,
+    deserialize_result,
+    serialize_result,
+)
+from repro.workloads import ZipfianWorkload
+
+#: Instant retries for tests: full attempts, no backoff sleeping.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+SPECS = [PolicySpec.lru(), PolicySpec.lruk(2)]
+CAPACITIES = [4, 8]
+
+
+def _grid(jobs=1, specs=SPECS, capacities=CAPACITIES, seed=1, **kwargs):
+    """A small Table 4.2-shaped grid, fast enough for failure injection."""
+    workload = ZipfianWorkload(n=60)
+    return run_grid(workload, specs, capacities, warmup=100, measured=300,
+                    seed=seed, repetitions=2, jobs=jobs,
+                    retry=kwargs.pop("retry", FAST_RETRY), **kwargs)
+
+
+def _observed():
+    """A dispatcher with a metrics registry and an event recorder."""
+    events = []
+    dispatcher = EventDispatcher()
+    dispatcher.attach(CallbackSink(lambda event, context:
+                                   events.append(event)))
+    dispatcher.metrics = MetricsRegistry()
+    return dispatcher, events
+
+
+def _failure_events(events):
+    return [e for e in events if isinstance(e, CellFailureEvent)]
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.fallback_serial
+        assert policy.timeout is None
+
+    def test_exponential_delay(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+
+    def test_backoff_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(backoff_base=0.5, sleep=slept.append)
+        policy.backoff(1)
+        assert slept == [pytest.approx(1.0)]
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(backoff_base=0.0,
+                             sleep=lambda s: pytest.fail("slept"))
+        policy.backoff(5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0.0)
+
+
+class TestClassify:
+    def test_broken_pool_is_transient_crash(self):
+        from concurrent.futures.process import BrokenProcessPool
+        assert recovery.classify(BrokenProcessPool()) == ("crash", True)
+
+    def test_configuration_error_is_poisoned(self):
+        assert recovery.classify(ConfigurationError("bad")) == \
+            ("poisoned", False)
+
+    def test_other_exceptions_are_transient(self):
+        assert recovery.classify(RuntimeError("flaky")) == ("error", True)
+        assert recovery.classify(ChaosError("boom")) == ("error", True)
+
+
+class TestCheckpointRoundTrip:
+    def test_result_serialization_round_trips_exactly(self):
+        grid = _grid()
+        for result in grid.values():
+            record = json.loads(json.dumps(serialize_result(result)))
+            assert deserialize_result(record) == result
+
+    def test_fingerprint_distinguishes_grids(self):
+        workload = ZipfianWorkload(n=60)
+        base = grid_fingerprint(workload, SPECS, CAPACITIES, 100, 300, 1, 2)
+        assert base == grid_fingerprint(
+            ZipfianWorkload(n=60), SPECS, CAPACITIES, 100, 300, 1, 2)
+        assert base != grid_fingerprint(
+            workload, SPECS, CAPACITIES, 100, 300, 2, 2)  # seed
+        assert base != grid_fingerprint(
+            workload, SPECS, [4, 16], 100, 300, 1, 2)  # capacities
+        assert base != grid_fingerprint(
+            workload, SPECS[:1], CAPACITIES, 100, 300, 1, 2)  # labels
+
+    def test_checkpoint_records_and_reloads(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with SweepCheckpoint(path) as checkpoint:
+            grid = _grid(checkpoint=checkpoint)
+        assert len(grid) == len(SPECS) * len(CAPACITIES)
+        reopened = SweepCheckpoint(path, resume=True)
+        fingerprint = grid_fingerprint(
+            ZipfianWorkload(n=60), SPECS, CAPACITIES, 100, 300, 1, 2)
+        assert reopened.completed(fingerprint) == grid
+        assert reopened.completed("feedfacedeadbeef") == {}
+        reopened.close()
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with SweepCheckpoint(path) as checkpoint:
+            _grid(checkpoint=checkpoint)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"grid": "abc", "capacity": 4, "lab')  # crash cut
+        reopened = SweepCheckpoint(path, resume=True)
+        assert reopened.resumed_cells == len(SPECS) * len(CAPACITIES)
+        reopened.close()
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with SweepCheckpoint(path) as checkpoint:
+            _grid(checkpoint=checkpoint)
+        fresh = SweepCheckpoint(path, resume=False)
+        fresh.close()
+        assert os.path.getsize(path) == 0
+
+
+class TestResume:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with SweepCheckpoint(path) as checkpoint:
+            first = _grid(checkpoint=checkpoint)
+        narrated = []
+        with SweepCheckpoint(path, resume=True) as checkpoint:
+            resumed = _grid(checkpoint=checkpoint, progress=narrated.append)
+        assert resumed == first
+        assert narrated == []  # nothing re-ran, nothing re-narrated
+
+    def test_partial_resume_runs_only_missing_cells(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        with SweepCheckpoint(path) as checkpoint:
+            full = _grid(checkpoint=checkpoint)
+        # Keep only the first two completed cells, as if interrupted.
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:2])
+        narrated = []
+        with SweepCheckpoint(path, resume=True) as checkpoint:
+            resumed = _grid(checkpoint=checkpoint, progress=narrated.append)
+        assert resumed == full
+        assert len(narrated) == len(full) - 2
+
+    def test_interrupt_salvages_and_resume_completes(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        seen = []
+
+        def interrupt_after_two(line):
+            seen.append(line)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        with SweepCheckpoint(path) as checkpoint:
+            with pytest.raises(SweepInterrupted) as info:
+                _grid(checkpoint=checkpoint, progress=interrupt_after_two)
+        assert len(info.value.results) == 2  # completed cells salvaged
+        with SweepCheckpoint(path, resume=True) as checkpoint:
+            assert checkpoint.resumed_cells == 2
+            resumed = _grid(checkpoint=checkpoint)
+        assert resumed == _grid()  # identical to an uninterrupted run
+
+
+class TestSerialRetry:
+    def test_flaky_factory_retries_to_serial_answer(self):
+        baseline = _grid()
+        built = []
+
+        def flaky(ctx):
+            built.append(ctx)
+            if len(built) == 1:
+                raise RuntimeError("first build fails")
+            return make_policy("lru")
+
+        specs = [PolicySpec("LRU-1", flaky), PolicySpec.lruk(2)]
+        dispatcher, events = _observed()
+        grid = _grid(specs=specs, observability=dispatcher)
+        assert grid == baseline
+        failures = _failure_events(events)
+        assert [e.action for e in failures] == ["retry"]
+        assert failures[0].failure == "error"
+        assert dispatcher.metrics.counter("sweep.cell.retries").value == 1
+        assert dispatcher.metrics.counter("sweep.cell.failures").value == 0
+
+    def test_poisoned_cell_fails_fast_and_keeps_good_cells(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+
+        def poisoned(ctx):
+            raise ConfigurationError("deterministically broken")
+
+        specs = [PolicySpec.lru(), PolicySpec("BAD", poisoned)]
+        dispatcher, events = _observed()
+        with SweepCheckpoint(path) as checkpoint:
+            with pytest.raises(CellExecutionError) as info:
+                _grid(specs=specs, checkpoint=checkpoint,
+                      observability=dispatcher)
+        failures = info.value.failures
+        assert len(failures) == len(CAPACITIES)
+        assert all(f.kind == "poisoned" for f in failures)
+        assert all(f.attempts == 1 for f in failures)  # never retried
+        assert all(f.label == "BAD" for f in failures)
+        # Every healthy cell completed and was checkpointed.
+        assert set(info.value.results) == {(c, "LRU-1") for c in CAPACITIES}
+        reopened = SweepCheckpoint(path, resume=True)
+        assert reopened.resumed_cells == len(CAPACITIES)
+        reopened.close()
+        assert dispatcher.metrics.counter("sweep.cell.failures").value == 2
+        assert all(e.action == "failed" for e in _failure_events(events))
+
+    def test_exhausted_attempts_raise_with_history(self):
+        def always_broken(ctx):
+            raise RuntimeError("never builds")
+
+        specs = [PolicySpec("BROKEN", always_broken)]
+        with pytest.raises(CellExecutionError) as info:
+            _grid(specs=specs, capacities=[4])
+        (failure,) = info.value.failures
+        assert failure.attempts == FAST_RETRY.max_attempts
+        assert failure.kind == "error"
+        assert "never builds" in str(info.value)
+
+
+class TestChaosHook:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(recovery.CHAOS_ENV, raising=False)
+        chaos_hook(0, 4, 0)
+
+    def test_raise_mode_selects_by_modulus(self, monkeypatch):
+        monkeypatch.setenv(recovery.CHAOS_ENV, "raise:3")
+        with pytest.raises(ChaosError):
+            chaos_hook(0, 3, 0)  # (0 + 3) % 3 == 0
+        chaos_hook(0, 4, 0)  # (0 + 4) % 3 == 1: spared
+
+    def test_retries_are_never_sabotaged(self, monkeypatch):
+        monkeypatch.setenv(recovery.CHAOS_ENV, "raise:1")
+        chaos_hook(0, 4, attempt=1)
+
+    def test_malformed_spec_injects_nothing(self, monkeypatch):
+        monkeypatch.setenv(recovery.CHAOS_ENV, "raise:lots")
+        chaos_hook(0, 4, 0)
+        monkeypatch.setenv(recovery.CHAOS_ENV, "raise:0")
+        chaos_hook(0, 4, 0)
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="parallel engine needs the fork start method")
+class TestParallelRecovery:
+    def test_injected_raises_recover_to_serial_answer(self, monkeypatch):
+        baseline = _grid()
+        monkeypatch.setenv(recovery.CHAOS_ENV, "raise:1")  # every cell
+        dispatcher, events = _observed()
+        grid = _grid(jobs=2, observability=dispatcher)
+        assert grid == baseline
+        retried = dispatcher.metrics.counter("sweep.cell.retries").value
+        assert retried == len(SPECS) * len(CAPACITIES)
+        assert dispatcher.metrics.counter("sweep.cell.failures").value == 0
+        assert all(e.action == "retry" for e in _failure_events(events))
+
+    def test_sigkilled_worker_loses_no_cells(self, monkeypatch, tmp_path):
+        baseline = _grid()
+        path = str(tmp_path / "cells.jsonl")
+        monkeypatch.setenv(recovery.CHAOS_ENV, "kill:2")
+        dispatcher, events = _observed()
+        with SweepCheckpoint(path) as checkpoint:
+            grid = _grid(jobs=2, observability=dispatcher,
+                         checkpoint=checkpoint)
+        assert grid == baseline  # bit-identical to the serial run
+        assert dispatcher.metrics.counter("sweep.pool.rebuilds").value >= 1
+        kinds = {e.failure for e in _failure_events(events)}
+        assert "crash" in kinds
+        # Completed cells survived to the checkpoint despite the kills.
+        reopened = SweepCheckpoint(path, resume=True)
+        assert reopened.resumed_cells == len(grid)
+        reopened.close()
+
+    def test_hung_cell_times_out_and_recovers(self, monkeypatch):
+        baseline = _grid(specs=SPECS[:1], capacities=[4, 5])
+        monkeypatch.setenv(recovery.CHAOS_ENV, "hang:2")  # B=4 only
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0, timeout=1.0)
+        dispatcher, events = _observed()
+        grid = _grid(jobs=2, specs=SPECS[:1], capacities=[4, 5],
+                     retry=retry, observability=dispatcher)
+        assert grid == baseline
+        assert dispatcher.metrics.counter("sweep.cell.timeouts").value >= 1
+        assert any(e.failure == "timeout" and e.action == "retry"
+                   for e in _failure_events(events))
+
+    def test_worker_only_failure_falls_back_to_serial(self):
+        baseline = _grid()
+        parent = os.getpid()
+
+        def parent_only(ctx):
+            if os.getpid() != parent:
+                raise RuntimeError("refuses to build in a worker")
+            return make_policy("lru")
+
+        specs = [PolicySpec("LRU-1", parent_only), PolicySpec.lruk(2)]
+        dispatcher, events = _observed()
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.0)
+        grid = _grid(jobs=2, specs=specs, retry=retry,
+                     observability=dispatcher)
+        # The degraded cells re-ran in-process and still match serial.
+        assert grid == baseline
+        assert dispatcher.metrics.counter("sweep.cell.fallbacks").value == \
+            len(CAPACITIES)
+        assert dispatcher.metrics.counter("sweep.cell.recovered").value == \
+            len(CAPACITIES)
+        assert dispatcher.metrics.counter("sweep.cell.failures").value == 0
+        assert any(e.action == "fallback" for e in _failure_events(events))
+
+    def test_interrupt_with_hung_cell_salvages_promptly(self, monkeypatch):
+        # Regression: the pool used to shut down with wait=True when a
+        # KeyboardInterrupt unwound the submission loop, stalling Ctrl-C
+        # until a hung cell's sleep expired instead of reaping it.
+        monkeypatch.setenv(recovery.CHAOS_ENV, "hang:3")  # LRU-2 @ B=5
+        completed = []
+
+        def interrupt_after_three(line):
+            completed.append(line)
+            if len(completed) == 3:  # only the hung cell is left in flight
+                raise KeyboardInterrupt
+
+        def overslept(signum, frame):
+            raise AssertionError(
+                "interrupt salvage blocked on the hung worker")
+
+        previous = signal.signal(signal.SIGALRM, overslept)
+        signal.alarm(90)
+        try:
+            with pytest.raises(SweepInterrupted) as info:
+                _grid(jobs=2, capacities=[4, 5],
+                      progress=interrupt_after_three)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        assert len(info.value.results) == 3  # completed cells salvaged
+
+    def test_no_fallback_surfaces_permanent_failure(self):
+        def never_in_worker(ctx):
+            raise RuntimeError("always broken")
+
+        specs = [PolicySpec("BROKEN", never_in_worker), PolicySpec.lru()]
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.0,
+                            fallback_serial=False)
+        with pytest.raises(CellExecutionError) as info:
+            _grid(jobs=2, specs=specs, retry=retry)
+        assert {f.label for f in info.value.failures} == {"BROKEN"}
+        # The healthy policy's cells all completed and were salvaged.
+        assert set(info.value.results) == {(c, "LRU-1") for c in CAPACITIES}
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_recovered_grid_equals_serial(self, seed):
+        serial = _grid(seed=seed)
+        previous = os.environ.get(recovery.CHAOS_ENV)
+        os.environ[recovery.CHAOS_ENV] = "raise:2"
+        try:
+            recovered = _grid(jobs=2, seed=seed)
+        finally:
+            if previous is None:
+                os.environ.pop(recovery.CHAOS_ENV, None)
+            else:
+                os.environ[recovery.CHAOS_ENV] = previous
+        assert recovered == serial
+
+
+class TestTransientFactory:
+    def test_raises_once_globally_then_recovers(self, tmp_path):
+        sentinel = str(tmp_path / "first-build")
+        baseline = _grid()
+
+        def flaky_once(ctx):
+            if not os.path.exists(sentinel):
+                with open(sentinel, "w", encoding="utf-8"):
+                    pass
+                raise RuntimeError("transient: first build only")
+            return make_policy("lru")
+
+        specs = [PolicySpec("LRU-1", flaky_once), PolicySpec.lruk(2)]
+        jobs = 2 if fork_available() else 1
+        dispatcher, events = _observed()
+        grid = _grid(jobs=jobs, specs=specs, observability=dispatcher)
+        assert grid == baseline
+        assert dispatcher.metrics.counter("sweep.cell.failures").value == 0
+
+
+class TestJobsDefaultIsSerial:
+    def test_run_grid_none_jobs_stays_in_process(self, monkeypatch):
+        def forbidden(*args, **kwargs):
+            raise AssertionError("jobs=None must not spawn a pool")
+
+        monkeypatch.setattr("repro.sim.parallel._execute_resilient",
+                            forbidden)
+        grid = _grid(jobs=None)
+        assert len(grid) == len(SPECS) * len(CAPACITIES)
+
+    def test_ambient_default_reaches_run_grid(self, monkeypatch):
+        from repro.sim import parallel as parallel_module
+        calls = []
+        original = parallel_module._execute_resilient
+
+        def spy(*args, **kwargs):
+            calls.append(True)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_module, "_execute_resilient", spy)
+        with parallel_module.default_jobs(2):
+            _grid(jobs=None)
+        assert calls if fork_available() else not calls
+
+
+class TestCacheLifetime:
+    class _TrackingCache(TraceCache):
+        instances = []
+
+        def __init__(self):
+            super().__init__()
+            self.cleared = 0
+            type(self).instances.append(self)
+
+        def clear(self):
+            self.cleared += 1
+            super().clear()
+
+    @pytest.fixture(autouse=True)
+    def _reset_instances(self):
+        type(self)._TrackingCache.instances = []
+        yield
+
+    def test_experiment_clears_its_cache(self, monkeypatch):
+        monkeypatch.setattr(experiment_module, "TraceCache",
+                            self._TrackingCache)
+        from repro.experiments import table_4_2_spec
+        spec = table_4_2_spec(scale=0.02, n=100, capacities=[8],
+                              repetitions=1, include_equi_effective=False)
+        run_experiment(spec, jobs=1)
+        (cache,) = self._TrackingCache.instances
+        assert cache.cleared >= 1
+        assert len(cache) == 0
+
+    def test_experiment_clears_cache_on_failure(self, monkeypatch):
+        monkeypatch.setattr(experiment_module, "TraceCache",
+                            self._TrackingCache)
+        from repro.experiments import table_4_2_spec
+        spec = table_4_2_spec(scale=0.02, n=100, capacities=[8],
+                              repetitions=1, include_equi_effective=False)
+        boom = [PolicySpec("BOOM", lambda ctx: (_ for _ in ()).throw(
+            ConfigurationError("poisoned")))]
+        spec.policies = list(spec.policies) + boom
+        with pytest.raises(CellExecutionError):
+            run_experiment(spec, jobs=1, retry=FAST_RETRY)
+        (cache,) = self._TrackingCache.instances
+        assert cache.cleared >= 1
+        assert len(cache) == 0
+
+    def test_sweep_clears_owned_cache(self, monkeypatch):
+        monkeypatch.setattr(sweep, "TraceCache", self._TrackingCache)
+        sweep_buffer_sizes(ZipfianWorkload(n=60), SPECS, [4],
+                           warmup=100, measured=200, seed=0)
+        (cache,) = self._TrackingCache.instances
+        assert cache.cleared >= 1
+
+    def test_sweep_leaves_borrowed_cache_alone(self):
+        cache = self._TrackingCache()
+        sweep_buffer_sizes(ZipfianWorkload(n=60), SPECS, [4],
+                           warmup=100, measured=200, seed=0,
+                           trace_cache=cache)
+        assert cache.cleared == 0
+        assert len(cache) > 0  # still warm for the caller's next probe
+
+
+class TestCellFailureEvent:
+    def test_to_dict(self):
+        event = CellFailureEvent(capacity=8, label="LRU-2", attempt=2,
+                                 failure="crash", error="SIGKILL",
+                                 action="retry")
+        record = event.to_dict()
+        assert record["event"] == "cell-failure"
+        assert record["failure"] == "crash"
+        assert record["action"] == "retry"
+        json.dumps(record)  # strictly serializable
