@@ -17,12 +17,17 @@ Two views of the same claim:
   ``on_hit`` / ``on_admit`` / ``choose_victim`` / ``on_evict``). A mean
   can hide tail spikes in the lazy heap; the distribution cannot.
 - A12c measures raw references/second for LRU-K's two victim selectors
-  (heap vs literal Figure 2.1 scan) and for the pre-normalized fast
-  integer path, and writes the numbers to ``BENCH_overhead.json`` so CI
-  can archive a perf trajectory (see docs/performance.md).
+  (heap vs literal Figure 2.1 scan), for the pre-normalized fast integer
+  path, and for the fused simulation kernels
+  (:mod:`repro.policies.kernel`), and writes the numbers to
+  ``BENCH_overhead.json`` so CI can archive a perf trajectory (see
+  docs/performance.md). The kernel rows gate CI: ``lruk_kernel`` must
+  reach 1.5x ``lruk_heap`` (locally the target is 2x).
 - A12d times a 4-policy x 4-capacity Table 4.2 sweep serially and under
   ``jobs=4``; on a multicore machine the parallel engine must deliver a
-  >= 3x wall-clock speedup.
+  >= 3x wall-clock speedup. Single-core machines record a
+  ``skipped_reason`` instead of a meaningless speedup verdict; the
+  payload also carries ``efficiency`` (speedup per usable core).
 """
 
 from __future__ import annotations
@@ -133,7 +138,9 @@ def _json_artifact_path() -> str:
 #: Schema version stamped into every BENCH_*.json payload, so trend
 #: tooling comparing artifacts across commits can detect shape changes
 #: instead of mis-joining fields. Bump when a payload's keys change.
-BENCH_JSON_VERSION = 2
+#: v3: a12c gained lruk_kernel/lru1_kernel rows; a12d gained
+#: jobs/efficiency/skipped_reason.
+BENCH_JSON_VERSION = 3
 
 
 def _merge_json_artifact(payload: dict) -> None:
@@ -163,8 +170,18 @@ def _throughput(policy, pages) -> float:
     return len(pages) / (time.perf_counter() - started)
 
 
+def _kernel_throughput(policy, pages) -> float:
+    """Drive the fused simulation kernel; references per second."""
+    simulator = CacheSimulator(policy, CAPACITY)
+    started = time.perf_counter()
+    engaged = simulator.run_fused(pages, 0)
+    elapsed = time.perf_counter() - started
+    assert engaged, "fused kernel did not engage"
+    return len(pages) / elapsed
+
+
 def _run_selector_throughput() -> "tuple[Table, dict]":
-    """A12c: references/second, LRU-K heap vs scan vs the slow path."""
+    """A12c: references/second, LRU-K heap vs scan vs the fused kernels."""
     count = max(10_000, int(REFERENCES * bench_scale(1.0)))
     workload = ZipfianWorkload(n=20_000)
     references = list(workload.references(count, seed=9))
@@ -175,6 +192,8 @@ def _run_selector_throughput() -> "tuple[Table, dict]":
         "lruk_heap": _throughput(LRUKPolicy(k=2, selection="heap"), pages),
         "lruk_scan": _throughput(LRUKPolicy(k=2, selection="scan"), pages),
         "lru1": _throughput(make_policy("lru"), pages),
+        "lruk_kernel": _kernel_throughput(LRUKPolicy(k=2), pages),
+        "lru1_kernel": _kernel_throughput(make_policy("lru"), pages),
     }
     # The pre-fast-path baseline: the same stream as Reference objects
     # through the dispatching access() entry point.
@@ -189,8 +208,8 @@ def _run_selector_throughput() -> "tuple[Table, dict]":
         title=f"A12c — victim-selector throughput "
               f"(B={CAPACITY}, Zipfian N=20k, {count} refs)",
         columns=["driver", "refs/sec", "vs scan"])
-    for label in ("lruk_heap", "lruk_scan", "lruk_heap_reference_objects",
-                  "lru1"):
+    for label in ("lruk_kernel", "lruk_heap", "lruk_scan",
+                  "lruk_heap_reference_objects", "lru1_kernel", "lru1"):
         table.add_row(label, rates[label], rates[label] / rates["lruk_scan"])
     payload = {"a12c": {"references": count, "capacity": CAPACITY,
                         "refs_per_sec": rates}}
@@ -214,24 +233,42 @@ def _run_parallel_speedup() -> "tuple[Table, dict]":
                                    seed=5, repetitions=1, jobs=jobs)
         return time.perf_counter() - started, cells
 
+    jobs = 4
     serial_elapsed, serial_cells = timed(1)
-    parallel_elapsed, parallel_cells = timed(4)
+    parallel_elapsed, parallel_cells = timed(jobs)
     assert [c.results for c in serial_cells] == \
         [c.results for c in parallel_cells], "parallel sweep diverged"
+    cores = os.cpu_count() or 1
     speedup = serial_elapsed / parallel_elapsed
+    # Speedup is bounded by the cores the 4 workers can actually use, so
+    # normalize it: efficiency ~1.0 means perfect scaling on this box,
+    # and on a single core the whole exercise measures only fork
+    # overhead — record why the verdict is skipped rather than a
+    # meaningless sub-1.0 "speedup".
+    usable = min(jobs, cores)
+    efficiency = speedup / usable
     table = Table(
         title=f"A12d — parallel sweep engine, 4 policies x 4 capacities "
               f"(Zipfian N=1000, {warmup + measured} refs/cell, "
-              f"{os.cpu_count()} cores)",
+              f"{cores} cores)",
         columns=["mode", "seconds", "speedup"])
     table.add_row("serial", serial_elapsed, 1.0)
-    table.add_row("jobs=4", parallel_elapsed, speedup)
-    payload = {"a12d": {"cores": os.cpu_count(),
-                        "references_per_cell": warmup + measured,
-                        "serial_seconds": serial_elapsed,
-                        "parallel_seconds": parallel_elapsed,
-                        "speedup": speedup}}
-    return table, payload
+    table.add_row(f"jobs={jobs}", parallel_elapsed, speedup)
+    stats = {"cores": cores,
+             "jobs": jobs,
+             "references_per_cell": warmup + measured,
+             "serial_seconds": serial_elapsed,
+             "parallel_seconds": parallel_elapsed,
+             "speedup": speedup,
+             "efficiency": efficiency}
+    if cores < 2:
+        stats["skipped_reason"] = (
+            "single-core machine: parallel speedup is unmeasurable, "
+            "only the serial/parallel equivalence check ran")
+    elif not fork_available():
+        stats["skipped_reason"] = (
+            "fork start method unavailable: sweep ran serially")
+    return table, {"a12d": stats}
 
 
 def test_a12c_selector_throughput(benchmark):
@@ -244,6 +281,9 @@ def test_a12c_selector_throughput(benchmark):
     # the fast integer path must beat driving Reference objects.
     assert rates["lruk_heap"] > rates["lruk_scan"]
     assert rates["lruk_heap"] > rates["lruk_heap_reference_objects"]
+    # The fused kernel must deliver a real multiple over the per-reference
+    # object path (CI re-checks this threshold on the fresh artifact).
+    assert rates["lruk_kernel"] >= 1.5 * rates["lruk_heap"], rates
 
 
 def test_a12d_parallel_sweep_speedup(benchmark):
@@ -254,7 +294,10 @@ def test_a12d_parallel_sweep_speedup(benchmark):
     stats = payload["a12d"]
     # The >= 3x target needs real cores and enough per-cell work to
     # amortize worker startup; on small machines the equivalence
-    # assertion inside the run is still the functional check.
+    # assertion inside the run is still the functional check, and the
+    # payload's skipped_reason documents why no verdict was rendered.
+    if "skipped_reason" in stats:
+        return
     if (fork_available() and (os.cpu_count() or 1) >= 4
             and stats["references_per_cell"] >= 20_000):
         assert stats["speedup"] >= 3.0, stats

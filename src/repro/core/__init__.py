@@ -13,6 +13,7 @@ Public surface:
 """
 
 from .history import HistoryBlock, HistoryStore, INFINITE_DISTANCE
+from .kernel import make_lruk_kernel
 from .lruk import LRUKPolicy, LRUKStats
 from .tuning import (
     five_minute_rule_interarrival,
@@ -26,6 +27,7 @@ __all__ = [
     "INFINITE_DISTANCE",
     "LRUKPolicy",
     "LRUKStats",
+    "make_lruk_kernel",
     "five_minute_rule_interarrival",
     "suggest_retained_information_period",
     "suggest_correlated_reference_period",

@@ -79,13 +79,24 @@ class HistoryBlock:
         to every older history entry, collapsing the burst to an instant,
         then the new reference becomes HIST(p,1).
         """
-        correlation_period = self.last - self.hist[0]
-        for i in range(len(self.hist) - 1, 0, -1):
-            if self.hist[i - 1]:
-                self.hist[i] = self.hist[i - 1] + correlation_period
+        hist = self.hist
+        if len(hist) == 2:
+            # K=2 (the paper's recommended setting, and the dominant bench
+            # configuration): the shifted entry collapses algebraically —
+            # HIST(p,2) = HIST(p,1) + (LAST(p) - HIST(p,1)) = LAST(p) when
+            # HIST(p,1) is recorded, else stays unknown. `hist[0] and
+            # self.last` encodes exactly that without the shift loop.
+            hist[1] = hist[0] and self.last
+            hist[0] = now
+            self.last = now
+            return
+        correlation_period = self.last - hist[0]
+        for i in range(len(hist) - 1, 0, -1):
+            if hist[i - 1]:
+                hist[i] = hist[i - 1] + correlation_period
             else:
-                self.hist[i] = 0
-        self.hist[0] = now
+                hist[i] = 0
+        hist[0] = now
         self.last = now
 
     def record_correlated(self, now: int) -> None:
@@ -99,9 +110,16 @@ class HistoryBlock:
         page was dropped from buffer, so its previous correlated period is
         already closed.
         """
-        for i in range(len(self.hist) - 1, 0, -1):
-            self.hist[i] = self.hist[i - 1]
-        self.hist[0] = now
+        hist = self.hist
+        if len(hist) == 2:
+            # K=2: plain two-slot shift, no loop.
+            hist[1] = hist[0]
+            hist[0] = now
+            self.last = now
+            return
+        for i in range(len(hist) - 1, 0, -1):
+            hist[i] = hist[i - 1]
+        hist[0] = now
         self.last = now
 
     def __repr__(self) -> str:

@@ -1,0 +1,275 @@
+"""The fused LRU-K simulation kernel.
+
+This is the hot path behind every sweep cell the harness runs with the
+default policy family: one function that plays an entire compact page-id
+trace through the full Figure 2.1 algorithm — CRP-aware hit handling,
+history shifts, lazy-heap victim selection, the forced-eviction fallback,
+and the Retained Information purge demon — with every data structure
+bound to a local and zero per-reference allocation.
+
+Where :class:`~repro.core.lruk.LRUKPolicy` driven through
+:meth:`~repro.sim.CacheSimulator.access_page` pays, per reference, a
+clock tick, an ``observe``-skippability check, two or three policy-hook
+dispatches, and two method-chained pushes (``LRUKPolicy._push`` +
+``HistoryStore.touch``), the kernel pays one dict hit plus at most one
+``heappush``. The K=2 history shifts are specialized to branchless
+two-slot updates (see :meth:`~repro.core.history.HistoryBlock.
+record_uncorrelated`); general K falls back to the block methods but
+keeps the fused loop.
+
+The kernel is *decision-identical* to the object path — same hit/miss
+sequence, same evictions, same final :class:`~repro.core.lruk.LRUKStats`,
+same retained-history population, same heap multiset — which is
+property-tested against the object path in ``tests/sim/test_kernels.py``.
+Configurations the fused loop does not replicate (the literal Figure 2.1
+scan selector, process-aware correlation, bounded history memory, an
+attached provenance recorder, or a policy that already holds residents)
+yield no kernel, and the driver falls back to the object path.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NoEvictableFrameError
+from ..policies.kernel import KernelResult, SimulationKernel
+from ..types import PageId
+from .history import HistoryBlock
+
+__all__ = ["make_lruk_kernel"]
+
+
+def make_lruk_kernel(policy, capacity: int) -> Optional[SimulationKernel]:
+    """Build the fused trace runner for one LRU-K policy instance.
+
+    Returns None whenever the configuration carries a feature the fused
+    loop does not replicate — the driver then uses the object path:
+
+    - ``selection="scan"``: the literal Figure 2.1 loop is the reference
+      implementation; its heap bookkeeping diverges from the production
+      selector's, so the kernel (which fuses the heap selector) would not
+      leave bit-identical state behind.
+    - ``distinguish_processes``: correlation then depends on per-reference
+      process ids, which a bare page-id stream cannot carry.
+    - ``max_history_blocks``: bounded history memory maintains a second
+      block-LRU heap the kernel does not fuse.
+    - an attached :class:`~repro.obs.provenance.ProvenanceRecorder`:
+      kernels are observability-free by contract.
+    - pre-existing residency: the kernel cannot reconstruct mid-run
+      driver state.
+    """
+    from .lruk import HEAP_COMPACT_SLACK  # local: avoids import cycle
+
+    if (policy.selection != "heap" or policy.distinguish_processes
+            or policy.max_history_blocks is not None
+            or policy.provenance is not None or policy._resident):
+        return None
+
+    k = policy.k
+    crp = policy.crp
+    store = policy.history
+    compact_slack = HEAP_COMPACT_SLACK
+
+    def kernel(pages: Sequence[PageId], warmup: int) -> KernelResult:
+        # -- locals-bound policy state ------------------------------------
+        stats = policy.stats
+        blocks = store._blocks
+        get_block = blocks.get
+        expiry = store._expiry
+        touches = store._touches_since_purge
+        rip = store.retained_information_period
+        purge_interval = store.purge_interval
+        heap = policy._heap
+        resident: Dict[PageId, int] = {}
+        k2 = k == 2
+        # -- locals-accumulated counters, flushed once at the end ---------
+        warmup_hits = warmup_misses = hits = misses = 0
+        evictions = infinite = forced = admissions = 0
+        uncorrelated = correlated = compactions = purged = 0
+        t = 0
+
+        for boundary, segment in enumerate((pages[:warmup], pages[warmup:])):
+            for page in segment:
+                t += 1
+                block = get_block(page)
+                if page in resident:
+                    # -- Figure 2.1, "p is already in the buffer" ---------
+                    hits += 1
+                    if block is None:
+                        # Defensive parity with LRUKPolicy.on_hit: resident
+                        # pages always have blocks through this entry point,
+                        # but recover identically if not.
+                        block = HistoryBlock(k)
+                        blocks[page] = block
+                        block.record_uncorrelated(t)
+                        heappush(heap, (block.hist[-1], t, page))
+                        if len(heap) > 2 * len(resident) + compact_slack:
+                            heap = _compact(resident, get_block)
+                            compactions += 1
+                    elif t - block.last > crp:
+                        # A new, uncorrelated reference.
+                        if k2:
+                            hist = block.hist
+                            hist[1] = hist[0] and block.last
+                            hist[0] = t
+                            block.last = t
+                            key = hist[1]
+                        else:
+                            block.record_uncorrelated(t)
+                            key = block.hist[-1]
+                        uncorrelated += 1
+                        heappush(heap, (key, t, page))
+                        if len(heap) > 2 * len(resident) + compact_slack:
+                            heap = _compact(resident, get_block)
+                            compactions += 1
+                    else:
+                        # A correlated reference: only LAST moves.
+                        block.last = t
+                        correlated += 1
+                else:
+                    # -- Figure 2.1, the fetch path -----------------------
+                    misses += 1
+                    if len(resident) >= capacity:
+                        # Victim selection over the lazy heap.
+                        victim = None
+                        if crp:
+                            set_aside: Optional[List[Tuple[int, int,
+                                                           PageId]]] = None
+                            while heap:
+                                entry = heappop(heap)
+                                kth, first, q = entry
+                                b = get_block(q)
+                                if (q not in resident or b is None
+                                        or b.hist[-1] != kth
+                                        or b.hist[0] != first):
+                                    continue  # stale entry
+                                if set_aside is None:
+                                    set_aside = []
+                                set_aside.append(entry)
+                                if t - b.last <= crp:
+                                    continue  # CRP-protected
+                                victim = q
+                                break
+                            if set_aside:
+                                for entry in set_aside:
+                                    heappush(heap, entry)
+                        else:
+                            # CRP disabled: nothing is protected, so the
+                            # first live entry wins and can stay in place
+                            # (the object path pops it and pushes it back;
+                            # the heap multiset is identical either way).
+                            while heap:
+                                kth, first, q = heap[0]
+                                b = get_block(q)
+                                if (q not in resident or b is None
+                                        or b.hist[-1] != kth
+                                        or b.hist[0] != first):
+                                    heappop(heap)
+                                    continue
+                                victim = q
+                                break
+                        if victim is None:
+                            # Forced choice: evict the stalest burst.
+                            best_last = None
+                            for q in resident:
+                                b = get_block(q)
+                                q_last = b.last if b is not None else 0
+                                if best_last is None or q_last < best_last:
+                                    best_last = q_last
+                                    victim = q
+                            if victim is None:
+                                raise NoEvictableFrameError(
+                                    "no resident pages to evict")
+                            forced += 1
+                        del resident[victim]
+                        evictions += 1
+                        b = get_block(victim)
+                        if b is not None and b.hist[-1] == 0:
+                            infinite += 1
+                        # The HIST block survives: Retained Information.
+                    # Admission (LRUKPolicy.on_admit).
+                    if block is None:
+                        # "initialize history control block"
+                        block = HistoryBlock(k)
+                        blocks[page] = block
+                        block.hist[0] = t
+                        block.last = t
+                        key = block.hist[-1]
+                    elif k2:
+                        hist = block.hist
+                        hist[1] = hist[0]
+                        hist[0] = t
+                        block.last = t
+                        key = hist[1]
+                    else:
+                        block.record_readmission(t)
+                        key = block.hist[-1]
+                    admissions += 1
+                    uncorrelated += 1
+                    resident[page] = t
+                    heappush(heap, (key, t, page))
+                    if len(heap) > 2 * len(resident) + compact_slack:
+                        heap = _compact(resident, get_block)
+                        compactions += 1
+                # -- HistoryStore.touch: the amortized purge demon --------
+                if rip is not None:
+                    heappush(expiry, (t, page))
+                    touches += 1
+                    if touches >= purge_interval:
+                        touches = 0
+                        postponed = None
+                        while expiry and expiry[0][0] + rip < t:
+                            entry = heappop(expiry)
+                            last, q = entry
+                            b = get_block(q)
+                            if b is None or b.last != last:
+                                continue  # stale: the page was touched again
+                            if q in resident:
+                                # Resident blocks are always retained.
+                                if postponed is None:
+                                    postponed = []
+                                postponed.append(entry)
+                                continue
+                            del blocks[q]
+                            purged += 1
+                        if postponed:
+                            for entry in postponed:
+                                heappush(expiry, entry)
+            if boundary == 0:
+                warmup_hits, warmup_misses = hits, misses
+                hits = misses = 0
+
+        # -- flush locals back into the policy's bookkeeping --------------
+        policy._resident.update(resident)
+        policy._heap = heap
+        store._touches_since_purge = touches
+        store.purged_blocks += purged
+        stats.uncorrelated_references += uncorrelated
+        stats.correlated_references += correlated
+        stats.admissions += admissions
+        stats.evictions += evictions
+        stats.infinite_distance_evictions += infinite
+        stats.forced_evictions += forced
+        stats.heap_compactions += compactions
+        return KernelResult(warmup_hits, warmup_misses, hits, misses,
+                            evictions, resident, t)
+
+    return kernel
+
+
+def _compact(resident: Dict[PageId, int], get_block) -> list:
+    """Rebuild the lazy victim heap from the live resident population.
+
+    Mirrors ``LRUKPolicy._compact_heap``; iteration order differs from
+    the policy's set but heapify over the same entry multiset yields the
+    same pop sequence, so decisions are unaffected.
+    """
+    heap = []
+    append = heap.append
+    for page in resident:
+        block = get_block(page)
+        if block is not None:
+            append((block.hist[-1], block.hist[0], page))
+    heapify(heap)
+    return heap

@@ -416,6 +416,18 @@ class LRUKPolicy(ReplacementPolicy):
         registry.gauge(f"{prefix}.purged_history_blocks",
                        lambda: self.history.purged_blocks)
 
+    def make_kernel(self, capacity: int):
+        """Fused whole-trace kernel (see :mod:`repro.core.kernel`).
+
+        Offered only for configurations the fused loop replicates
+        bit-identically: heap selection, no process-aware correlation, no
+        bounded history memory, no provenance recorder, and a fresh
+        (no-residents) policy. Everything else returns None and is driven
+        through the object path.
+        """
+        from .kernel import make_lruk_kernel
+        return make_lruk_kernel(self, capacity)
+
     # -- internals ------------------------------------------------------------------
 
     def _push(self, page: PageId, block: HistoryBlock) -> None:

@@ -130,6 +130,15 @@ class ProfiledPolicy(ReplacementPolicy):
     def prepare(self, trace: Sequence[PageId]) -> None:
         self.inner.prepare(trace)
 
+    def make_kernel(self, capacity: int) -> None:
+        """Never offer a fused kernel: profiling needs per-hook calls.
+
+        Without this override ``__getattr__`` would hand out the inner
+        policy's kernel and the fused loop would silently bypass every
+        timed hook.
+        """
+        return None
+
     def reset(self) -> None:
         """Reset the wrapped policy; recorded profiles are kept."""
         self.inner.reset()

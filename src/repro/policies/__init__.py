@@ -15,6 +15,7 @@ from .base import (
     register_policy,
     register_policy_factory,
 )
+from .kernel import KernelResult, SimulationKernel
 from .lru import LRUPolicy
 from .fifo import FIFOPolicy, MRUPolicy
 from .random_policy import RandomPolicy
@@ -38,6 +39,8 @@ __all__ = [
     "make_policy",
     "register_policy",
     "register_policy_factory",
+    "KernelResult",
+    "SimulationKernel",
     "LRUPolicy",
     "FIFOPolicy",
     "MRUPolicy",

@@ -112,6 +112,21 @@ class ReplacementPolicy(abc.ABC):
     def prepare(self, trace: Sequence[PageId]) -> None:
         """Receive the full future reference string (oracles only)."""
 
+    def make_kernel(self, capacity: int):
+        """Return a fused simulation kernel for this policy, or None.
+
+        A kernel is a closure ``kernel(pages, warmup) ->
+        :class:`repro.policies.kernel.KernelResult`` that runs an entire
+        compact page-id trace in one loop, decision-identically to
+        driving :meth:`repro.sim.CacheSimulator.access_page` one
+        reference at a time (see :mod:`repro.policies.kernel` for the
+        full contract). The default — no kernel — keeps every policy on
+        the object path; policies with a fused implementation override
+        this and may still return None for configurations (or live
+        state) the fused loop does not replicate.
+        """
+        return None
+
     def reset(self) -> None:
         """Forget everything (fresh run). Subclasses extend."""
         self._resident.clear()

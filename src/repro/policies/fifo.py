@@ -44,6 +44,10 @@ class FIFOPolicy(ReplacementPolicy):
                 return page
         raise NoEvictableFrameError("all resident pages are excluded")
 
+    def make_kernel(self, capacity: int):
+        from .kernel import make_fifo_kernel
+        return make_fifo_kernel(self, capacity)
+
     def reset(self) -> None:
         super().reset()
         self._order.clear()

@@ -50,6 +50,10 @@ class LRUPolicy(ReplacementPolicy):
                 return page
         raise NoEvictableFrameError("all resident pages are excluded")
 
+    def make_kernel(self, capacity: int):
+        from .kernel import make_lru_kernel
+        return make_lru_kernel(self, capacity)
+
     def reset(self) -> None:
         super().reset()
         self._order.clear()

@@ -11,11 +11,12 @@ protocol, so a policy validated here runs unmodified there.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from ..clock import LogicalClock
 from ..errors import ConfigurationError
 from ..obs import runtime as obs_runtime
+from ..obs import trace as obs_trace
 from ..obs.dispatcher import EventDispatcher
 from ..obs.events import AccessEvent, EvictionEvent, victim_telemetry
 from ..policies.base import ReplacementPolicy
@@ -162,6 +163,53 @@ class CacheSimulator:
         if obs is not None and obs._sinks:
             obs.emit(AccessEvent(time=t, page=page, hit=hit, write=False))
         return hit
+
+    def run_fused(self, pages: Sequence[PageId], warmup: int) -> bool:
+        """Play a compact page-id trace through the policy's fused kernel.
+
+        The fused path (see :mod:`repro.policies.kernel`) runs the whole
+        warm-up + measurement protocol in one loop with the policy's
+        structures bound to locals — no per-reference hook dispatch, no
+        :class:`~repro.types.Reference`/:class:`~repro.types.AccessOutcome`
+        allocation — and is decision-identical to calling
+        :meth:`access_page` once per reference with
+        :meth:`start_measurement` at the boundary.
+
+        Returns True when a kernel ran (the simulator's counters, clock,
+        and residency then reflect the completed run), or False when the
+        caller must fall back to the object path because:
+
+        - any observation channel is attached — event sinks, an ambient
+          tracer, a provenance recorder, or the eviction log (kernels
+          are observability-free by contract);
+        - the simulator already processed references (kernels replay
+          whole runs from a fresh state only);
+        - the policy offers no kernel for its configuration.
+        """
+        if (self.eviction_log is not None or self._provenance is not None
+                or self.clock.now != 0 or self.counter.total):
+            return False
+        obs = self._obs
+        if obs is not None and obs._sinks:
+            return False
+        if obs_trace.current() is not None:
+            return False
+        factory = getattr(self.policy, "make_kernel", None)
+        if factory is None:
+            return False
+        kernel = factory(self.capacity)
+        if kernel is None:
+            return False
+        result = kernel(pages, warmup)
+        self.clock.advance(result.now)
+        self.warmup_counter = HitRatioCounter(hits=result.warmup_hits,
+                                              misses=result.warmup_misses)
+        self.counter.hits = result.hits
+        self.counter.misses = result.misses
+        self.evictions += result.evictions
+        self._resident = dict.fromkeys(result.resident, False)
+        self._admitted_at = dict(result.resident)
+        return True
 
     def _evict(self, victim: PageId, t: int,
                outcome: Optional[AccessOutcome] = None) -> None:

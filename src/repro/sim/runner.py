@@ -204,16 +204,21 @@ def measure_hit_ratio(policy: ReplacementPolicy,
 
     measured = len(references) - warmup
     if isinstance(references, CachedTrace) and references.plain:
-        # Pre-normalized stream: bare page ids through the fast path.
+        # Pre-normalized stream: bare page ids. Offer the whole trace to
+        # the policy's fused kernel first (decision-identical, no
+        # per-reference dispatch); run_fused declines — returning False —
+        # whenever observability is attached or no kernel exists, and the
+        # per-reference fast path below takes over.
         pages = references.page_ids()
-        access_page = simulator.access_page
-        with obs_trace.maybe_span("warmup", references=warmup):
-            for page in pages[:warmup]:
-                access_page(page)
-        at_measurement_boundary()
-        with obs_trace.maybe_span("measure", references=measured):
-            for page in pages[warmup:]:
-                access_page(page)
+        if not simulator.run_fused(pages, warmup):
+            access_page = simulator.access_page
+            with obs_trace.maybe_span("warmup", references=warmup):
+                for page in pages[:warmup]:
+                    access_page(page)
+            at_measurement_boundary()
+            with obs_trace.maybe_span("measure", references=measured):
+                for page in pages[warmup:]:
+                    access_page(page)
     else:
         if isinstance(references, CachedTrace):
             references = references.references()

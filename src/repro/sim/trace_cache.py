@@ -66,7 +66,17 @@ class CachedTrace:
     @classmethod
     def materialize(cls, workload: Workload, total: int,
                     seed: int) -> "CachedTrace":
-        """Expand a workload into a cached trace (no cache involved)."""
+        """Expand a workload into a cached trace (no cache involved).
+
+        Tries the workload's bulk :meth:`~repro.workloads.base.Workload.
+        page_ids` materializer first — same stream, no intermediate
+        ``Reference`` objects — and falls back to draining
+        :meth:`~repro.workloads.base.Workload.references` when the
+        workload returns None (its stream carries metadata).
+        """
+        pages = workload.page_ids(total, seed=seed)
+        if pages is not None:
+            return cls(pages, None)
         return cls.from_references(workload.references(total, seed=seed))
 
     @property

@@ -29,6 +29,24 @@ class Workload(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not enumerate its page universe")
 
+    def page_ids(self, count: int, seed: int = 0) -> Optional[array]:
+        """Materialize ``count`` references straight into an ``array('q')``.
+
+        The bulk analogue of :meth:`references` for metadata-free
+        workloads: same pages, same order, same RNG consumption for a
+        given seed, but no per-reference :class:`~repro.types.Reference`
+        object is ever built. Returns None when the stream carries
+        metadata (writes, process/transaction ids) that a bare page-id
+        array cannot represent — callers then fall back to
+        :meth:`references`.
+
+        This default drains :meth:`references` through
+        :func:`compact_reference_pages`; subclasses with cheap samplers
+        override it with a direct fill loop (and metadata-carrying
+        generators override it to return None without generating).
+        """
+        return compact_reference_pages(self.references(count, seed=seed))
+
     def reference_probabilities(self) -> Dict[PageId, float]:
         """True per-page reference probabilities (IRM workloads only).
 
@@ -81,6 +99,18 @@ class SyntheticWorkload(Workload):
         rng = SeededRng(seed)
         for _ in range(count):
             yield Reference(page=self.sample_page(rng))
+
+    def page_ids(self, count: int, seed: int = 0) -> array:
+        """Bulk sampling: identical stream to :meth:`references`, no
+        generator frames or ``Reference`` objects — one ``sample_page``
+        call per slot of a preallocated array."""
+        from ..stats import SeededRng
+        rng = SeededRng(seed)
+        sample = self.sample_page
+        out = array("q", bytes(8 * count))
+        for i in range(count):
+            out[i] = sample(rng)
+        return out
 
     def pages(self) -> Sequence[PageId]:
         pages, _ = self._tables()

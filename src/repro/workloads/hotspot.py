@@ -18,6 +18,7 @@ recovers fast while still discriminating.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterator, Sequence
 
 from ..errors import ConfigurationError
@@ -67,6 +68,35 @@ class MovingHotspotWorkload(Workload):
                 offset = rng.randrange(self.db_pages - self.hot_pages)
                 page = (start + self.hot_pages + offset) % self.db_pages
             yield Reference(page=page)
+
+    def page_ids(self, count: int, seed: int = 0) -> array:
+        """Bulk sampling, chunked by epoch (hot-set start is loop-invariant
+        within one epoch). Consumes the RNG exactly as :meth:`references`
+        does — one ``random()`` then one ``randrange()`` per reference —
+        so the stream is identical for a given seed.
+        """
+        rng = SeededRng(seed)
+        random_ = rng.random
+        randrange = rng.randrange
+        db = self.db_pages
+        hot = self.hot_pages
+        cold = db - hot
+        fraction = self.hot_fraction
+        epoch_length = self.epoch_length
+        out = array("q", bytes(8 * count))
+        index = 0
+        while index < count:
+            epoch = index // epoch_length
+            start = self.hot_start(epoch)
+            cold_base = start + hot
+            end = min(count, (epoch + 1) * epoch_length)
+            for i in range(index, end):
+                if random_() < fraction:
+                    out[i] = (start + randrange(hot)) % db
+                else:
+                    out[i] = (cold_base + randrange(cold)) % db
+            index = end
+        return out
 
     def pages(self) -> Sequence[PageId]:
         return range(self.db_pages)

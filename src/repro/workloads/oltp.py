@@ -136,6 +136,12 @@ class BankOLTPWorkload(Workload):
 
     # -- generation --------------------------------------------------------------
 
+    def page_ids(self, count: int, seed: int = 0) -> None:
+        """Always None: every reference carries a process id (and writes),
+        which the compact page-id form cannot represent. Declared so bulk
+        materialization skips generating the stream just to discover that."""
+        return None
+
     def references(self, count: int,
                    seed: int = 0) -> Iterator[Reference]:
         rng = SeededRng(seed)

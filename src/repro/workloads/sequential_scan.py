@@ -87,6 +87,11 @@ class ScanSwampingWorkload(Workload):
         self.scan_processes = scan_processes
         self.scan_share = scan_share
 
+    def page_ids(self, count: int, seed: int = 0) -> None:
+        """Always None: references carry process ids (scanner identity),
+        so the stream cannot compact to bare page ids."""
+        return None
+
     def references(self, count: int, seed: int = 0) -> Iterator[Reference]:
         rng = SeededRng(seed)
         cursors = [(p * self.db_pages) // max(1, self.scan_processes)

@@ -19,6 +19,7 @@ per-page masses ``F(i) - F(i-1)``.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, Iterator, Sequence
 
 from ..errors import ConfigurationError
@@ -77,6 +78,26 @@ class ZipfianWorkload(Workload):
         rng = SeededRng(seed)
         for _ in range(count):
             yield Reference(page=self.sample_page(rng))
+
+    def page_ids(self, count: int, seed: int = 0) -> array:
+        """Bulk inverse-CDF sampling into a preallocated ``array('q')``.
+
+        Draws exactly one uniform variate per reference, in the same
+        order as :meth:`references`, so the stream is bit-identical to
+        draining the generator for the same seed — just without a
+        generator frame, method dispatch, or ``Reference`` object per
+        sample.
+        """
+        rng = SeededRng(seed)
+        random_ = rng.random
+        ceil = math.ceil
+        n = self.n
+        inv = self._inverse_exponent
+        out = array("q", bytes(8 * count))
+        for i in range(count):
+            page = ceil(n * random_() ** inv)
+            out[i] = n if page > n else (1 if page < 1 else page)
+        return out
 
     def pages(self) -> Sequence[PageId]:
         return range(1, self.n + 1)

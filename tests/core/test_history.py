@@ -75,6 +75,63 @@ class TestHistoryBlock:
         assert block.kth_time() == 3
 
 
+class TestK2Specialization:
+    """The branchless K=2 shift must match the generic collapse loop."""
+
+    @staticmethod
+    def generic_uncorrelated(block, now):
+        """The pre-specialization Figure 2.1 collapse, any K."""
+        hist = block.hist
+        correlation_period = block.last - hist[0]
+        for i in range(len(hist) - 1, 0, -1):
+            hist[i] = hist[i - 1] + correlation_period if hist[i - 1] else 0
+        hist[0] = now
+        block.last = now
+
+    def test_collapse_reduces_to_last(self):
+        # HIST(p,2) = HIST(p,1) + (LAST - HIST(p,1)) = LAST exactly.
+        block = HistoryBlock(k=2, now=10)
+        block.record_correlated(14)
+        block.record_uncorrelated(30)
+        assert block.hist == [30, 14]
+        assert block.last == 30
+
+    def test_unknown_first_slot_stays_unknown(self):
+        block = HistoryBlock(k=2)
+        block.record_correlated(5)  # LAST moves, HIST(p,1) still unknown
+        block.record_uncorrelated(9)
+        assert block.hist == [9, 0]
+
+    def test_differential_against_generic_loop(self):
+        import random
+        rng = random.Random(42)
+        fast = HistoryBlock(k=2, now=1)
+        slow = HistoryBlock(k=2, now=1)
+        now = 1
+        for _ in range(500):
+            now += rng.randrange(1, 6)
+            action = rng.randrange(3)
+            if action == 0:
+                fast.record_uncorrelated(now)
+                self.generic_uncorrelated(slow, now)
+            elif action == 1:
+                fast.record_correlated(now)
+                slow.record_correlated(now)
+            else:
+                fast.record_readmission(now)
+                slow.hist[1] = slow.hist[0]
+                slow.hist[0] = now
+                slow.last = now
+            assert fast.hist == slow.hist and fast.last == slow.last
+
+    def test_readmission_plain_shift(self):
+        block = HistoryBlock(k=2, now=10)
+        block.record_correlated(14)
+        block.record_readmission(25)
+        assert block.hist == [25, 10]
+        assert block.last == 25
+
+
 class TestHistoryStore:
     def test_get_or_create_creates_once(self):
         store = HistoryStore(k=2)

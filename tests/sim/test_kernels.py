@@ -1,0 +1,253 @@
+"""Fused simulation kernels are decision-identical to the object path.
+
+The kernel contract (:mod:`repro.policies.kernel`) promises the same
+hit/miss sequence, the same evictions, and the same final policy state
+as driving :meth:`CacheSimulator.access_page` once per reference — and
+that the driver silently falls back to the object path whenever any
+observability channel is attached. Both halves are enforced here:
+a hypothesis equivalence matrix across policies x capacities x CRP/RIP,
+and bypass regressions for every observation channel.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.obs import (
+    EventDispatcher,
+    ProfiledPolicy,
+    ProvenanceRecorder,
+    RingBufferSink,
+)
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer
+from repro.policies import make_policy
+from repro.sim import CachedTrace, CacheSimulator, measure_hit_ratio
+from repro.workloads import ZipfianWorkload
+
+PAGES = st.lists(st.integers(min_value=1, max_value=30),
+                 min_size=5, max_size=300)
+
+#: label -> factory, every policy family that ships a fused kernel.
+KERNEL_POLICIES = {
+    "lru": lambda: make_policy("lru"),
+    "fifo": lambda: make_policy("fifo"),
+    "clock": lambda: make_policy("clock"),
+    "lruk": lambda: LRUKPolicy(k=2),
+}
+
+
+def object_run(policy, pages, warmup, capacity):
+    """The reference semantics: per-reference fast path + boundary."""
+    simulator = CacheSimulator(policy, capacity)
+    for page in pages[:warmup]:
+        simulator.access_page(page)
+    simulator.start_measurement()
+    for page in pages[warmup:]:
+        simulator.access_page(page)
+    return simulator
+
+
+def kernel_run(policy, pages, warmup, capacity):
+    """The fused path; asserts the kernel actually engaged."""
+    simulator = CacheSimulator(policy, capacity)
+    assert simulator.run_fused(pages, warmup)
+    return simulator
+
+
+def assert_identical(sim_a, sim_b):
+    """Every driver-visible observable matches between two simulators."""
+    assert sim_a.counter.hits == sim_b.counter.hits
+    assert sim_a.counter.misses == sim_b.counter.misses
+    assert sim_a.warmup_counter.hits == sim_b.warmup_counter.hits
+    assert sim_a.warmup_counter.misses == sim_b.warmup_counter.misses
+    assert sim_a.evictions == sim_b.evictions
+    assert sim_a.resident_pages == sim_b.resident_pages
+    assert sim_a._admitted_at == sim_b._admitted_at
+    assert sim_a.now == sim_b.now
+
+
+def assert_lruk_state_identical(pol_a, pol_b):
+    """LRU-K internals: stats, history population, heap multiset."""
+    assert pol_a.stats == pol_b.stats
+    blocks_a, blocks_b = pol_a.history._blocks, pol_b.history._blocks
+    assert blocks_a.keys() == blocks_b.keys()
+    for page, block in blocks_a.items():
+        other = blocks_b[page]
+        assert block.hist == other.hist, page
+        assert block.last == other.last, page
+    assert sorted(pol_a._heap) == sorted(pol_b._heap)
+    assert pol_a.history.purged_blocks == pol_b.history.purged_blocks
+    assert (pol_a.history._touches_since_purge
+            == pol_b.history._touches_since_purge)
+    assert sorted(pol_a.history._expiry) == sorted(pol_b.history._expiry)
+
+
+class TestLRUKKernelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(pages=PAGES,
+           capacity=st.integers(min_value=1, max_value=8),
+           crp=st.sampled_from([0, 3]),
+           rip=st.sampled_from([None, 40]),
+           k=st.sampled_from([2, 3]))
+    def test_matches_object_path(self, pages, capacity, crp, rip, k):
+        warmup = len(pages) // 3
+
+        def build():
+            return LRUKPolicy(k=k, correlated_reference_period=crp,
+                              retained_information_period=rip)
+
+        sim_a = object_run(build(), pages, warmup, capacity)
+        sim_b = kernel_run(build(), pages, warmup, capacity)
+        assert_identical(sim_a, sim_b)
+        assert_lruk_state_identical(sim_a.policy, sim_b.policy)
+
+    def test_hit_sequence_identical_at_every_prefix(self):
+        """Counter equality at every prefix pins the full hit *sequence*.
+
+        The fused loop is prefix-closed (reference i is processed
+        identically whatever follows it), so equal cumulative counters at
+        each prefix length imply the per-reference hit/miss decisions
+        agree everywhere, not just in total.
+        """
+        workload = ZipfianWorkload(n=40)
+        pages = list(workload.page_ids(250, seed=13))
+        hits = []
+        simulator = CacheSimulator(
+            LRUKPolicy(k=2, correlated_reference_period=4,
+                       retained_information_period=60), 6)
+        for page in pages:
+            hits.append(simulator.access_page(page))
+        cumulative = 0
+        object_prefix_hits = []
+        for hit in hits:
+            cumulative += hit
+            object_prefix_hits.append(cumulative)
+        for prefix in range(1, len(pages) + 1, 7):
+            sim = kernel_run(
+                LRUKPolicy(k=2, correlated_reference_period=4,
+                           retained_information_period=60),
+                pages[:prefix], 0, 6)
+            assert sim.counter.hits == object_prefix_hits[prefix - 1], prefix
+
+
+class TestSimplePolicyKernelEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(pages=PAGES,
+           capacity=st.integers(min_value=1, max_value=8),
+           name=st.sampled_from(["lru", "fifo", "clock"]))
+    def test_matches_object_path(self, pages, capacity, name):
+        warmup = len(pages) // 3
+        sim_a = object_run(make_policy(name), pages, warmup, capacity)
+        sim_b = kernel_run(make_policy(name), pages, warmup, capacity)
+        assert_identical(sim_a, sim_b)
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_POLICIES))
+    def test_policy_keeps_working_after_kernel_run(self, name):
+        """The flushed state must support further per-reference driving."""
+        workload = ZipfianWorkload(n=50)
+        pages = list(workload.page_ids(400, seed=3))
+        split = 200
+        sim_a = CacheSimulator(KERNEL_POLICIES[name](), 8)
+        for page in pages:
+            sim_a.access_page(page)
+        sim_b = CacheSimulator(KERNEL_POLICIES[name](), 8)
+        assert sim_b.run_fused(pages[:split], 0)
+        for page in pages[split:]:
+            sim_b.access_page(page)
+        assert sim_a.evictions == sim_b.evictions
+        assert sim_a.resident_pages == sim_b.resident_pages
+        total_a = sim_a.counter.hits
+        total_b = sim_b.warmup_counter.hits + sim_b.counter.hits
+        assert total_a == total_b
+
+
+class TestMeasureHitRatioDispatch:
+    def trace(self, count=1200, seed=7):
+        return CachedTrace.materialize(ZipfianWorkload(n=80), count, seed)
+
+    def test_plain_trace_and_reference_list_agree(self):
+        trace = self.trace()
+        kernel_sim = measure_hit_ratio(
+            LRUKPolicy(k=2, correlated_reference_period=5), trace, 20, 300)
+        object_sim = measure_hit_ratio(
+            LRUKPolicy(k=2, correlated_reference_period=5),
+            trace.references(), 20, 300)
+        assert_identical(kernel_sim, object_sim)
+
+    def test_results_identical_with_and_without_sinks(self):
+        """Attaching a sink switches paths but must not change results."""
+        trace = self.trace()
+        plain = measure_hit_ratio(LRUKPolicy(k=2), trace, 20, 300)
+        dispatcher = EventDispatcher()
+        dispatcher.attach(RingBufferSink())
+        observed = measure_hit_ratio(LRUKPolicy(k=2), trace, 20, 300,
+                                     observability=dispatcher)
+        assert_identical(plain, observed)
+        assert_lruk_state_identical(plain.policy, observed.policy)
+
+
+class TestKernelBypass:
+    """Every observation channel must force the object path."""
+
+    def pages(self):
+        return list(ZipfianWorkload(n=30).page_ids(200, seed=1))
+
+    def test_event_sinks_bypass(self):
+        dispatcher = EventDispatcher()
+        dispatcher.attach(RingBufferSink())
+        simulator = CacheSimulator(LRUKPolicy(k=2), 8,
+                                   observability=dispatcher)
+        assert not simulator.run_fused(self.pages(), 0)
+
+    def test_eviction_log_bypasses(self):
+        simulator = CacheSimulator(LRUKPolicy(k=2), 8,
+                                   record_evictions=True)
+        assert not simulator.run_fused(self.pages(), 0)
+
+    def test_provenance_bypasses(self):
+        policy = LRUKPolicy(k=2)
+        policy.provenance = ProvenanceRecorder()
+        simulator = CacheSimulator(policy, 8)
+        assert not simulator.run_fused(self.pages(), 0)
+
+    def test_ambient_tracer_bypasses(self):
+        simulator = CacheSimulator(LRUKPolicy(k=2), 8)
+        with obs_trace.activate(Tracer()):
+            assert not simulator.run_fused(self.pages(), 0)
+        # Outside the span the same simulator is eligible again.
+        assert simulator.run_fused(self.pages(), 0)
+
+    def test_non_fresh_simulator_bypasses(self):
+        simulator = CacheSimulator(LRUKPolicy(k=2), 8)
+        simulator.access_page(1)
+        assert not simulator.run_fused(self.pages(), 0)
+
+    def test_profiled_policy_offers_no_kernel(self):
+        profiled = ProfiledPolicy(LRUKPolicy(k=2))
+        assert profiled.make_kernel(8) is None
+        simulator = CacheSimulator(profiled, 8)
+        assert not simulator.run_fused(self.pages(), 0)
+
+
+class TestUnsupportedConfigurations:
+    """Configurations the fused loop does not replicate yield no kernel."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"selection": "scan"},
+        {"distinguish_processes": True},
+        {"max_history_blocks": 64},
+    ])
+    def test_lruk_variants_offer_no_kernel(self, kwargs):
+        assert LRUKPolicy(k=2, **kwargs).make_kernel(8) is None
+
+    def test_policy_with_prior_residents_offers_no_kernel(self):
+        policy = LRUKPolicy(k=2)
+        simulator = CacheSimulator(policy, 8)
+        simulator.access_page(1)
+        assert policy.make_kernel(8) is None
+
+    @pytest.mark.parametrize("name", ["mru", "gclock", "lfu"])
+    def test_base_policies_default_to_none(self, name):
+        assert make_policy(name).make_kernel(8) is None

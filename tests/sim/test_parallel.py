@@ -25,7 +25,8 @@ from repro.workloads.base import compact_reference_pages
 
 
 class _CountingWorkload(ZipfianWorkload):
-    """Counts how many times a reference string is materialized."""
+    """Counts how many times a reference string is materialized
+    (through either the generator or the bulk page-id path)."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -34,6 +35,10 @@ class _CountingWorkload(ZipfianWorkload):
     def references(self, count, seed=0):
         self.materializations += 1
         return super().references(count, seed=seed)
+
+    def page_ids(self, count, seed=0):
+        self.materializations += 1
+        return super().page_ids(count, seed=seed)
 
 
 class TestCompactReferencePages:
