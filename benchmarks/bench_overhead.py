@@ -38,6 +38,7 @@ import time
 
 from repro.core import LRUKPolicy
 from repro.obs import PROFILED_HOOKS, ProfiledPolicy
+from repro.obs import perf as obs_perf
 from repro.policies import make_policy
 from repro.sim import (
     CachedTrace,
@@ -140,7 +141,17 @@ def _json_artifact_path() -> str:
 #: instead of mis-joining fields. Bump when a payload's keys change.
 #: v3: a12c gained lruk_kernel/lru1_kernel rows; a12d gained
 #: jobs/efficiency/skipped_reason.
-BENCH_JSON_VERSION = 3
+#: v4: a12d speedup/efficiency are null when skipped_reason is present
+#: (an unmeasurable run must not look like a sub-1.0 regression).
+BENCH_JSON_VERSION = 4
+
+
+def _history_path() -> str:
+    """The perf-trajectory ledger lives next to the JSON artifact."""
+    return os.environ.get(
+        "REPRO_BENCH_HISTORY",
+        os.path.join(os.path.dirname(_json_artifact_path()),
+                     obs_perf.HISTORY_FILENAME))
 
 
 def _merge_json_artifact(payload: dict) -> None:
@@ -268,6 +279,12 @@ def _run_parallel_speedup() -> "tuple[Table, dict]":
     elif not fork_available():
         stats["skipped_reason"] = (
             "fork start method unavailable: sweep ran serially")
+    if "skipped_reason" in stats:
+        # A skipped run measured nothing: a numeric sub-1.0 "speedup"
+        # here would read as a regression to any consumer that misses
+        # the reason field, so the measurement columns go null.
+        stats["speedup"] = None
+        stats["efficiency"] = None
     return table, {"a12d": stats}
 
 
@@ -277,6 +294,10 @@ def test_a12c_selector_throughput(benchmark):
     emit("A12c — victim-selector throughput", table.render())
     _merge_json_artifact(payload)
     rates = payload["a12c"]["refs_per_sec"]
+    obs_perf.append_record(
+        _history_path(), "a12c", dict(rates),
+        meta={"references": payload["a12c"]["references"],
+              "capacity": CAPACITY, "cores": os.cpu_count() or 1})
     # The heap selector must beat the O(B) scan on a B=500 buffer, and
     # the fast integer path must beat driving Reference objects.
     assert rates["lruk_heap"] > rates["lruk_scan"]
@@ -292,6 +313,14 @@ def test_a12d_parallel_sweep_speedup(benchmark):
     emit("A12d — parallel sweep speedup", table.render())
     _merge_json_artifact(payload)
     stats = payload["a12d"]
+    meta = {"cores": stats["cores"], "jobs": stats["jobs"],
+            "references_per_cell": stats["references_per_cell"]}
+    if "skipped_reason" in stats:
+        meta["skipped_reason"] = stats["skipped_reason"]
+    obs_perf.append_record(
+        _history_path(), "a12d",
+        {"speedup": stats["speedup"], "efficiency": stats["efficiency"]},
+        meta=meta)
     # The >= 3x target needs real cores and enough per-cell work to
     # amortize worker startup; on small machines the equivalence
     # assertion inside the run is still the functional check, and the

@@ -34,6 +34,17 @@ the rest — an interrupted sweep (Ctrl-C exits with code 130 after
 salvaging completed cells) picks up where it left off and produces the
 identical table. See the "Fault tolerance" section of
 docs/performance.md.
+
+Live telemetry: ``--serve-metrics PORT`` exposes the run's metrics
+registry as Prometheus text on ``localhost:PORT/metrics`` (plus
+``/healthz``) for the whole command, with worker counters, histogram
+buckets, and gauges merged in as sweep cells complete;
+``--sample-resources SECONDS`` adds a periodic RSS/CPU/GC/sink-depth
+sampler. ``repro top`` renders a live terminal dashboard over either a
+``/metrics`` endpoint or a ``--metrics-out`` file, and ``repro perf``
+diffs the latest ``BENCH_history.jsonl`` record against its baseline
+window (non-zero exit on regression). See the "Live telemetry" section
+of docs/observability.md.
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional, Tuple
 
 from .analysis import profile_trace
+from .errors import ConfigurationError
 from .experiments import (
     PAPER_TABLE_4_1,
     PAPER_TABLE_4_2,
@@ -65,7 +77,10 @@ from .obs import (
 )
 from .obs import runtime as obs_runtime
 from .obs import trace as obs_trace
+from .obs import perf as obs_perf
+from .obs import top as obs_top
 from .obs.registry import MetricsRegistry
+from .obs.telemetry import MetricsServer, ResourceSampler
 from .obs.trace import Tracer, write_chrome_trace
 from .sim import (
     CellExecutionError,
@@ -95,7 +110,9 @@ METRICS_STRIDE = 250
 def _observability(quiet: bool,
                    metrics_out: Optional[str] = None,
                    timeline: bool = False,
-                   trace_out: Optional[str] = None
+                   trace_out: Optional[str] = None,
+                   serve_metrics: Optional[int] = None,
+                   sample_resources: Optional[float] = None
                    ) -> Iterator[Tuple[EventDispatcher,
                                        Optional[TimelineSink]]]:
     """Build, activate, and tear down the command's event dispatcher.
@@ -107,7 +124,10 @@ def _observability(quiet: bool,
     With ``trace_out`` an ambient :class:`~repro.obs.trace.Tracer` is
     activated alongside, and the recorded span tree (including spans
     relayed from forked sweep workers) is written as Chrome trace-event
-    JSON when the command finishes.
+    JSON when the command finishes. ``serve_metrics`` keeps a
+    ``/metrics`` + ``/healthz`` endpoint up for the command's whole
+    extent; ``sample_resources`` runs the periodic
+    :class:`~repro.obs.telemetry.ResourceSampler` beside it.
     """
     dispatcher = EventDispatcher()
     if not quiet:
@@ -121,10 +141,25 @@ def _observability(quiet: bool,
     if metrics_out:
         dispatcher.attach(JsonlSink.open(
             metrics_out, access_every=METRICS_ACCESS_SAMPLE))
+    if metrics_out or serve_metrics is not None or sample_resources:
         # A registry rides along so the final snapshot carries protocol
         # totals — accumulated locally in serial runs, merged from
-        # worker registries under --jobs N.
+        # worker registries under --jobs N — and so the live endpoint
+        # and sampler have an instrument surface to publish into.
         dispatcher.metrics = MetricsRegistry()
+    server: Optional[MetricsServer] = None
+    sampler: Optional[ResourceSampler] = None
+    if serve_metrics is not None:
+        assert dispatcher.metrics is not None
+        server = MetricsServer(dispatcher.metrics, port=serve_metrics)
+        server.start()
+        print(f"serving /metrics on {server.url}", file=sys.stderr)
+    if sample_resources:
+        assert dispatcher.metrics is not None
+        sampler = ResourceSampler(dispatcher.metrics,
+                                  interval=sample_resources,
+                                  dispatcher=dispatcher)
+        sampler.start()
     tracer: Optional[Tracer] = Tracer() if trace_out else None
     try:
         with obs_runtime.activate(dispatcher):
@@ -139,6 +174,10 @@ def _observability(quiet: bool,
             dispatcher.emit(SnapshotEvent(time=None, phase="final",
                                           counters=counters))
     finally:
+        if sampler is not None:
+            sampler.stop()
+        if server is not None:
+            server.stop()
         dispatcher.close()
     if tracer is not None and trace_out:
         write_chrome_trace(trace_out, tracer)
@@ -180,7 +219,9 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
                metrics_out: Optional[str], timeline: bool,
                jobs: int = 1, trace_out: Optional[str] = None,
                checkpoint_path: Optional[str] = None,
-               resume: bool = False) -> int:
+               resume: bool = False,
+               serve_metrics: Optional[int] = None,
+               sample_resources: Optional[float] = None) -> int:
     builders = {
         "4.1": (table_4_1_spec, PAPER_TABLE_4_1, 3),
         "4.2": (table_4_2_spec, PAPER_TABLE_4_2, 3),
@@ -189,8 +230,9 @@ def _run_table(number: str, scale: float, repetitions: Optional[int],
     builder, paper_rows, default_reps = builders[number]
     reps = repetitions if repetitions is not None else default_reps
     spec = builder(scale=scale, repetitions=reps)
-    with _observability(quiet, metrics_out, timeline,
-                        trace_out) as (obs, timeline_sink):
+    with _observability(quiet, metrics_out, timeline, trace_out,
+                        serve_metrics,
+                        sample_resources) as (obs, timeline_sink):
         narrate = _progress_to(obs)
         with ExitStack() as stack:
             checkpoint = _open_checkpoint(checkpoint_path, resume, narrate)
@@ -236,15 +278,18 @@ def _run_ablation(name: str, quiet: bool,
                   metrics_out: Optional[str], timeline: bool,
                   jobs: int = 1, trace_out: Optional[str] = None,
                   checkpoint_path: Optional[str] = None,
-                  resume: bool = False) -> int:
+                  resume: bool = False,
+                  serve_metrics: Optional[int] = None,
+                  sample_resources: Optional[float] = None) -> int:
     try:
         ablation = ABLATIONS[name]
     except KeyError:
         known = ", ".join(sorted(ABLATIONS))
         print(f"unknown ablation {name!r}; known: {known}", file=sys.stderr)
         return 2
-    with _observability(quiet, metrics_out, timeline,
-                        trace_out) as (obs, timeline_sink):
+    with _observability(quiet, metrics_out, timeline, trace_out,
+                        serve_metrics,
+                        sample_resources) as (obs, timeline_sink):
         narrate = _progress_to(obs)
         narrate(f"running ablation {name} ...")
         # Ablations build their sweeps internally; the ambient defaults
@@ -270,6 +315,7 @@ def _list_targets() -> int:
     print("tables:     table4.1  table4.2  table4.3")
     print("analysis:   trace-stats  explain")
     print("report:     report [--ablations] [--output FILE]")
+    print("telemetry:  top (--url|--port|--file)  perf [--history FILE]")
     print("ablations:  " + "  ".join(sorted(ABLATIONS)))
     return 0
 
@@ -305,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--resume", action="store_true",
             help="skip cells already recorded in --checkpoint and append "
                  "the rest (requires --checkpoint)")
+        command_parser.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve live Prometheus text on localhost:PORT/metrics "
+                 "(and /healthz) for the whole command; 0 picks a free "
+                 "port. Scrape with curl or watch with `repro top`")
+        command_parser.add_argument(
+            "--sample-resources", type=float, default=None,
+            metavar="SECONDS",
+            help="publish process gauges (RSS, CPU, GC, sink depths) "
+                 "into the metrics registry every SECONDS")
 
     for number in ("4.1", "4.2", "4.3"):
         table = sub.add_parser(f"table{number}",
@@ -364,6 +420,45 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--no-belady", action="store_true",
                          help="skip the Belady-regret annotation (faster)")
 
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a --serve-metrics endpoint "
+             "or a --metrics-out JSONL file")
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument("--url", default=None, metavar="URL",
+                            help="metrics endpoint base URL or /metrics URL")
+    top_source.add_argument("--port", type=int, default=None, metavar="N",
+                            help="shorthand for --url http://127.0.0.1:N")
+    top_source.add_argument("--file", default=None, metavar="PATH",
+                            help="read the last snapshot of a "
+                                 "--metrics-out JSONL file instead")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="poll/repaint interval in seconds (default 1.0)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single plain frame and exit "
+                          "(no ANSI clears; scriptable)")
+    top.add_argument("--frames", type=int, default=None, metavar="N",
+                     help="render N frames (scrolling, no clears) and exit")
+
+    perf = sub.add_parser(
+        "perf",
+        help="diff the latest BENCH_history.jsonl record against its "
+             "baseline window; non-zero exit on regression")
+    perf.add_argument("--history", default=None, metavar="PATH",
+                      help="history ledger (default: $REPRO_BENCH_HISTORY "
+                           "or ./BENCH_history.jsonl)")
+    perf.add_argument("--bench", default="a12c",
+                      help="bench whose records to inspect (default a12c)")
+    perf.add_argument("--metric", default="lruk_kernel",
+                      help="metric to gate on (default lruk_kernel "
+                           "refs/sec)")
+    perf.add_argument("--threshold", type=float, default=0.10,
+                      help="allowed fractional drop vs the baseline "
+                           "median (default 0.10)")
+    perf.add_argument("--window", type=int, default=5,
+                      help="baseline window: measured records preceding "
+                           "the latest (default 5)")
+
     report = sub.add_parser(
         "report", help="regenerate the full reproduction report (Markdown)")
     report.add_argument("--output", default=None,
@@ -395,7 +490,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                              args.metrics_out, args.timeline,
                              jobs=args.jobs, trace_out=args.trace_out,
                              checkpoint_path=args.checkpoint,
-                             resume=args.resume)
+                             resume=args.resume,
+                             serve_metrics=args.serve_metrics,
+                             sample_resources=args.sample_resources)
+    if args.command == "top":
+        url = args.url
+        if args.port is not None:
+            url = f"http://127.0.0.1:{args.port}"
+        try:
+            return obs_top.run_top(url=url, file=args.file,
+                                   interval=args.interval,
+                                   frames=args.frames, once=args.once)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    if args.command == "perf":
+        history = args.history or obs_perf.default_history_path()
+        records = obs_perf.load_history(history, bench=args.bench)
+        verdict = obs_perf.check_regression(
+            records, args.metric, threshold=args.threshold,
+            window=args.window)
+        print(obs_perf.render_report(records, verdict))
+        return verdict.exit_code
     if args.command == "explain":
         report = explain_eviction(
             args.workload, args.seed, args.capacity, args.page,
@@ -425,7 +540,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                       args.quiet, args.compare, args.chart,
                       args.metrics_out, args.timeline, jobs=args.jobs,
                       trace_out=args.trace_out,
-                      checkpoint_path=args.checkpoint, resume=args.resume)
+                      checkpoint_path=args.checkpoint, resume=args.resume,
+                      serve_metrics=args.serve_metrics,
+                      sample_resources=args.sample_resources)
 
 
 if __name__ == "__main__":

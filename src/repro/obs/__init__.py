@@ -17,6 +17,12 @@ Four layers, all strictly pay-for-what-you-use:
   :mod:`repro.obs.profiler`): JSONL files, bounded ring buffers, the
   terminal timeline, and the per-hook latency profiler behind the
   distributional numbers in ``benchmarks/bench_overhead.py``.
+- **live telemetry** (:mod:`repro.obs.telemetry`, :mod:`repro.obs.top`,
+  :mod:`repro.obs.perf`): the Prometheus text exposition renderer and
+  the stdlib ``/metrics`` + ``/healthz`` endpoint behind
+  ``--serve-metrics``, the periodic :class:`ResourceSampler`, the
+  ``repro top`` terminal dashboard, and the ``BENCH_history.jsonl``
+  perf-trajectory ledger behind ``repro perf``.
 - **tracing & provenance** (:mod:`repro.obs.trace`,
   :mod:`repro.obs.provenance`): hierarchical wall/CPU-time spans
   (``sweep → cell → simulate → policy-hook``) with cross-process relay
@@ -52,6 +58,21 @@ from .provenance import (
     EvictionDecision,
     NextUseOracle,
     ProvenanceRecorder,
+)
+from .telemetry import (
+    Exposition,
+    HistogramSeries,
+    MetricsServer,
+    ResourceSampler,
+    parse_exposition,
+    render_exposition,
+)
+from .perf import (
+    PerfVerdict,
+    append_record,
+    check_regression,
+    load_history,
+    render_report,
 )
 from .trace import Span, Tracer, write_chrome_trace
 from .sinks import (
@@ -92,6 +113,17 @@ __all__ = [
     "EvictionDecision",
     "NextUseOracle",
     "ProvenanceRecorder",
+    "Exposition",
+    "HistogramSeries",
+    "MetricsServer",
+    "ResourceSampler",
+    "parse_exposition",
+    "render_exposition",
+    "PerfVerdict",
+    "append_record",
+    "check_regression",
+    "load_history",
+    "render_report",
     "Span",
     "Tracer",
     "write_chrome_trace",

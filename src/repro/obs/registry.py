@@ -167,6 +167,10 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, HistogramMetric] = {}
+        #: Which relayed worker last wrote each merged gauge (see
+        #: :meth:`merge_gauges`); the exposition renderer surfaces it as
+        #: a ``worker`` label.
+        self._gauge_sources: Dict[str, str] = {}
 
     def _claim(self, name: str) -> None:
         if (name in self._counters or name in self._gauges
@@ -188,6 +192,23 @@ class MetricsRegistry:
         self._claim(name)
         gauge = self._gauges[name] = Gauge(name, fn)
         return gauge
+
+    def set_gauge(self, name: str, value: float) -> Gauge:
+        """Get-or-create the non-callable gauge ``name`` and set it.
+
+        The instrument form used by periodically *published* values —
+        the runner's per-run gauges and the
+        :class:`~repro.obs.telemetry.ResourceSampler` — where the
+        publisher runs repeatedly and re-registration must not raise.
+        Callable-backed gauges (live views) keep their reject-on-set
+        semantics: publishing over one raises.
+        """
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._claim(name)
+            existing = self._gauges[name] = Gauge(name)
+        existing.set(float(value))
+        return existing
 
     def histogram(self, name: str, low: float, high: float,
                   bins: int = 64) -> HistogramMetric:
@@ -239,14 +260,65 @@ class MetricsRegistry:
         for name, value in values.items():
             self.counter(name).inc(value)
 
+    def gauge_values(self) -> Dict[str, float]:
+        """Every *non-callable* gauge's current value (worker relay form).
+
+        Callable-backed gauges are live views of worker-local objects
+        that die with the worker, so they are excluded — relaying their
+        final reading would freeze a "live" instrument at a stale value
+        without marking it as such.
+        """
+        return {name: gauge.read() for name, gauge in self._gauges.items()
+                if gauge._fn is None}
+
+    def merge_gauges(self, values: Dict[str, float],
+                     worker: Optional[str] = None) -> None:
+        """Fold relayed gauge snapshots in, last-write-wins.
+
+        The counterpart of :meth:`merge_counters` for point-in-time
+        instruments: forked sweep workers snapshot their non-callable
+        gauges at cell exit (:meth:`gauge_values`) and the parent merges
+        them as cells complete, so ``--serve-metrics`` exposes
+        worker-side gauges mid-sweep. Gauges are *not* additive; the
+        most recently merged cell wins, and ``worker`` records which
+        worker wrote the surviving value (exposed as a ``worker`` label
+        in the Prometheus exposition). Names already claimed by a
+        callable-backed gauge in this registry are skipped — a live
+        parent-side view must not be overwritten by a dead snapshot.
+        """
+        for name, value in values.items():
+            existing = self._gauges.get(name)
+            if existing is not None and existing._fn is not None:
+                continue
+            self.set_gauge(name, value)
+            if worker is not None:
+                self._gauge_sources[name] = worker
+
+    def gauge_source(self, name: str) -> Optional[str]:
+        """The worker that last wrote a merged gauge, if relayed."""
+        return self._gauge_sources.get(name)
+
+    def counters(self) -> Dict[str, Counter]:
+        """A shallow copy of the counter instruments by name."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """A shallow copy of the gauge instruments by name."""
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, HistogramMetric]:
+        """A shallow copy of the histogram instruments by name."""
+        return dict(self._histograms)
+
     def histogram_values(self) -> Dict[str, Dict[str, object]]:
         """Every histogram's :meth:`~HistogramMetric.state` (worker relay).
 
         The counterpart of :meth:`counter_values` for distribution
         instruments, so ``--metrics-out`` histograms agree between
         ``--jobs N`` and serial runs instead of silently dropping worker
-        observations. Gauges are deliberately *not* relayed: they are
-        live views of worker-local objects that die with the worker.
+        observations. Callable-backed gauges are not relayed (they are
+        live views of worker-local objects that die with the worker);
+        non-callable gauges travel separately via :meth:`gauge_values`.
         """
         return {name: histogram.state()
                 for name, histogram in self._histograms.items()}
@@ -254,10 +326,11 @@ class MetricsRegistry:
     def merge_histograms(self, states: Dict[str, Dict[str, object]]) -> None:
         """Fold relayed histogram states into this registry.
 
-        Bin counts and observation counts merge exactly (sums); means
-        merge via Chan's parallel formula. The sweep engine merges cell
-        states in sorted grid order so repeated runs produce identical
-        snapshots.
+        Bin counts and observation counts merge exactly (sums) and are
+        therefore order-independent; means merge via Chan's parallel
+        formula, which is order-sensitive only in the last ulp. The
+        sweep engine merges each cell's state as it completes so a live
+        ``/metrics`` scrape sees histogram buckets mid-sweep.
         """
         for name, state in states.items():
             histogram = self.histogram(

@@ -134,15 +134,19 @@ class _CellOutput:
     The cell's :class:`ProtocolResult` plus the observability side
     channels: serialized spans (plain dicts, see
     :meth:`repro.obs.trace.Tracer.serialize`), the worker registry's
-    counter values, and its histogram states (see
-    :meth:`repro.obs.registry.MetricsRegistry.histogram_values`). All
-    ride the existing pickle result channel — no extra IPC machinery.
+    counter values, its histogram states (see
+    :meth:`repro.obs.registry.MetricsRegistry.histogram_values`), and a
+    snapshot of its non-callable gauges taken at cell exit (merged
+    last-write-wins with the worker pid as provenance). All ride the
+    existing pickle result channel — no extra IPC machinery.
     """
 
     result: ProtocolResult
     spans: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     histograms: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    worker_pid: int = 0
 
 
 #: Jobs visible to forked workers; keyed by a monotonically increasing id
@@ -184,7 +188,9 @@ def _run_cell(job_id: int, spec_index: int, capacity: int,
         result=result, spans=spans,
         counters=registry.counter_values() if registry is not None else {},
         histograms=(registry.histogram_values()
-                    if registry is not None else {}))
+                    if registry is not None else {}),
+        gauges=registry.gauge_values() if registry is not None else {},
+        worker_pid=os.getpid())
 
 
 # -- the engine ----------------------------------------------------------------
@@ -240,10 +246,33 @@ class _GridRun:
         self.results: GridResults = {}
         self.failures: List[recovery.CellFailure] = []
 
+    def track_progress(self, total: int) -> None:
+        """Publish the grid's cell-completion gauges for live scrapes.
+
+        ``sweep.cells_total`` / ``sweep.cells_done`` are what ``repro
+        top`` renders as the progress bar; resumed cells from a
+        checkpoint count as already done.
+        """
+        if self.registry is None:
+            return
+        self.registry.set_gauge("sweep.cells_total", float(total))
+        self.registry.set_gauge("sweep.cells_done",
+                                float(len(self.results)))
+        # Register the fault counters at zero up front: a live /metrics
+        # scrape of a healthy sweep should show them absent-of-faults,
+        # not absent-of-instrumentation.
+        for name in ("sweep.cell.retries", "sweep.cell.timeouts",
+                     "sweep.cell.fallbacks", "sweep.cell.failures",
+                     "sweep.pool.rebuilds"):
+            self.registry.counter(name)
+
     def complete(self, capacity: int, label: str, result: ProtocolResult,
                  narrate: bool = True) -> None:
         """Record one finished cell: results, checkpoint, narration."""
         self.results[(capacity, label)] = result
+        if self.registry is not None:
+            self.registry.set_gauge("sweep.cells_done",
+                                    float(len(self.results)))
         if self.checkpoint is not None and self.fingerprint is not None:
             self.checkpoint.record(self.fingerprint, result)
         if narrate:
@@ -367,6 +396,7 @@ def _run_grid(workload: Workload, specs: Sequence[PolicySpec],
                      if (capacity, specs[index].label) not in run.results]
     else:
         remaining = order
+    run.track_progress(len(order))
     if not remaining:
         return run.results
 
@@ -459,9 +489,6 @@ def _execute_resilient(run: _GridRun, remaining: Sequence[Tuple[int, int]],
     queue: Deque[Tuple[int, int, int]] = deque(
         (capacity, index, 0) for capacity, index in remaining)
     fallback: List[Tuple[int, int]] = []
-    #: Worker histogram states, buffered and merged in grid order at the
-    #: end so parallel metric merges are deterministic.
-    histogram_states: Dict[Tuple[int, str], Dict[str, Dict[str, object]]] = {}
     context = multiprocessing.get_context("fork")
     pool: Optional[ProcessPoolExecutor] = None
     crash_streak = 0
@@ -474,15 +501,25 @@ def _execute_resilient(run: _GridRun, remaining: Sequence[Tuple[int, int]],
         return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
     def absorb(flight: _Flight, output: _CellOutput) -> None:
+        # The observability side channels merge as each cell completes —
+        # not at sweep end — so a live /metrics scrape sees worker
+        # counters, histogram buckets, and gauges mid-sweep. Counters
+        # and histogram bin counts are sums (order-independent, exact);
+        # only the histogram mean's Chan merge is completion-order
+        # sensitive, and only in the last ulp.
         nonlocal crash_streak
         crash_streak = 0
         label = run.specs[flight.index].label
         if tracer is not None:
             _absorb_cell(tracer, output.spans, flight.capacity, label)
-        if run.registry is not None and output.counters:
-            run.registry.merge_counters(output.counters)
-        if output.histograms:
-            histogram_states[(flight.capacity, label)] = output.histograms
+        if run.registry is not None:
+            if output.counters:
+                run.registry.merge_counters(output.counters)
+            if output.histograms:
+                run.registry.merge_histograms(output.histograms)
+            if output.gauges:
+                run.registry.merge_gauges(output.gauges,
+                                          worker=str(output.worker_pid))
         run.complete(flight.capacity, label, output.result)
 
     def requeue(flight: _Flight, kind: str, error: str,
@@ -634,9 +671,6 @@ def _execute_resilient(run: _GridRun, remaining: Sequence[Tuple[int, int]],
         run.counter("sweep.cell.recovered")
         run.complete(capacity, spec.label, result)
 
-    if run.registry is not None:
-        for key in sorted(histogram_states):
-            run.registry.merge_histograms(histogram_states[key])
     return run.finish()
 
 

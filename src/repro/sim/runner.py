@@ -286,6 +286,14 @@ def _record_protocol_counters(registry: MetricsRegistry,
     # --metrics-out distributions identical under --jobs N and serial.
     registry.histogram("protocol.run_hit_ratio", 0.0, 1.0).observe(
         simulator.hit_ratio)
+    # Point-in-time gauges for the live telemetry plane: non-callable,
+    # so forked sweep workers can snapshot them at cell exit and the
+    # parent can merge them last-write-wins (MetricsRegistry.
+    # merge_gauges) — a /metrics scrape mid-sweep then shows the most
+    # recently completed run regardless of which process ran it.
+    registry.set_gauge("protocol.last_run_hit_ratio", simulator.hit_ratio)
+    registry.set_gauge("protocol.last_run_evictions",
+                       float(simulator.evictions))
     stats = getattr(simulator.policy, "stats", None)
     if stats is not None and is_dataclass(stats):
         for spec in dataclass_fields(stats):

@@ -51,6 +51,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Five Minute" in out
 
+    def test_list_mentions_telemetry_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "top" in out and "perf" in out
+
+    def test_table_with_serve_metrics_and_sampler(self, capsys):
+        code = main(["table4.1", "--scale", "0.05", "--repetitions", "1",
+                     "--quiet", "--serve-metrics", "0",
+                     "--sample-resources", "0.1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 4.1" in captured.out
+        assert "serving /metrics on http://127.0.0.1:" in captured.err
+
+    def test_top_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["top"])
+        assert "required" in capsys.readouterr().err
+
+    def test_top_rejects_two_sources(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["top", "--url", "http://x", "--file", "y"])
+        err = capsys.readouterr().err
+        assert "not allowed" in err
+
+    def test_top_once_reads_a_snapshot_file(self, tmp_path, capsys):
+        code = main(["table4.1", "--scale", "0.05", "--repetitions", "1",
+                     "--quiet", "--metrics-out",
+                     str(tmp_path / "m.jsonl")])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["top", "--file", str(tmp_path / "m.jsonl"),
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "hit ratio" in out
+
+    def test_top_port_shorthand_unreachable_exits_one(self, capsys):
+        assert main(["top", "--port", "9", "--once"]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
     def test_ablation_runs(self, capsys):
         assert main(["ablation", "scaling"]) == 0
         out = capsys.readouterr().out

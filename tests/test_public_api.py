@@ -43,6 +43,38 @@ class TestTopLevelApi:
                 assert getattr(module, name, None) is not None, (
                     f"{module_name}.{name}")
 
+    def test_obs_documented_surface_importable(self):
+        """Every class docs/observability.md references must come straight
+        from ``repro.obs`` — the documented import surface is locked."""
+        obs = importlib.import_module("repro.obs")
+        documented = (
+            # event stream + dispatch
+            "ObsEvent", "AccessEvent", "EvictionEvent", "FlushEvent",
+            "PurgeEvent", "SnapshotEvent", "WindowEvent", "ProgressEvent",
+            "CellFailureEvent", "EventDispatcher", "Sink", "CallbackSink",
+            "activate", "current", "resolve",
+            # metrics
+            "Counter", "Gauge", "HistogramMetric", "MetricsRegistry",
+            "SlidingHitRatioWindow", "HitRatioWindowRecorder",
+            # sinks + profiler
+            "JsonlSink", "RingBufferSink", "ConsoleProgressSink",
+            "TimelineSink", "ProfiledPolicy", "HookProfile",
+            # tracing + provenance
+            "Span", "Tracer", "write_chrome_trace",
+            "EvictionDecisionEvent", "CandidateInfo", "EvictionDecision",
+            "NextUseOracle", "ProvenanceRecorder",
+            # live telemetry
+            "render_exposition", "parse_exposition", "Exposition",
+            "HistogramSeries", "MetricsServer", "ResourceSampler",
+            # perf trajectory
+            "PerfVerdict", "append_record", "check_regression",
+            "load_history", "render_report",
+        )
+        for name in documented:
+            assert getattr(obs, name, None) is not None, (
+                f"repro.obs.{name} missing from the public surface")
+            assert name in obs.__all__, f"{name} not in repro.obs.__all__"
+
     def test_readme_quickstart_snippet_behaviour(self):
         """The exact numbers the README's quickstart comment promises."""
         from repro import CacheSimulator, LRUKPolicy, LRUPolicy
