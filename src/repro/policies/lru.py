@@ -54,6 +54,10 @@ class LRUPolicy(ReplacementPolicy):
         from .kernel import make_lru_kernel
         return make_lru_kernel(self, capacity)
 
+    def make_batch_kernel(self, capacity: int):
+        from .kernel import make_lru_batch_kernel
+        return make_lru_batch_kernel(self, capacity)
+
     def reset(self) -> None:
         super().reset()
         self._order.clear()

@@ -159,18 +159,30 @@ def replay_cell(workload: Workload, seed: int, capacity: int,
                 k: int = 2, correlated_reference_period: int = 0,
                 retained_information_period: Optional[int] = None,
                 top_candidates: int = 8,
-                belady: bool = True) -> "tuple[ProvenanceRecorder, CacheSimulator]":
+                belady: bool = True,
+                trace: Optional[CachedTrace] = None
+                ) -> "tuple[ProvenanceRecorder, CacheSimulator]":
     """Replay one cell with provenance (and optionally a Belady oracle).
 
     Returns the populated recorder and the finished simulator. The
     replay is deterministic: the same (workload, seed, capacity, k, CRP)
     always reproduces the same decisions, which is what makes a post-hoc
     "why?" answerable at all.
+
+    ``trace`` short-circuits materialization with an already-cached (or
+    disk-baked) string. Only the first ``references`` ids of it are
+    replayed and indexed — asking about the head of a long baked trace
+    never materializes or scans the tail.
     """
     if references <= 0:
         raise ConfigurationError("need a positive reference count")
-    trace = CachedTrace.materialize(workload, references, seed)
-    pages = trace.page_ids()
+    if trace is None:
+        trace = CachedTrace.materialize(workload, references, seed)
+    elif len(trace) < references:
+        raise ConfigurationError(
+            f"supplied trace holds {len(trace)} references, "
+            f"fewer than the {references} the replay needs")
+    pages = trace.page_ids(limit=references)
     oracle: Optional[NextUseIndex] = None
     if belady:
         oracle = NextUseIndex(pages)
@@ -190,7 +202,7 @@ def replay_cell(workload: Workload, seed: int, capacity: int,
         for page in pages:
             access_page(page)
     else:
-        for reference in trace.references():
+        for reference in trace.references()[:references]:
             simulator.access(reference)
     return recorder, simulator
 

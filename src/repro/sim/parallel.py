@@ -403,6 +403,9 @@ def _run_grid(workload: Workload, specs: Sequence[PolicySpec],
     total = warmup + measured
     # Materialize every run seed's trace once, pre-fork: workers inherit
     # the compact arrays copy-on-write instead of regenerating them.
+    # Traces past the spill threshold (see repro.sim.trace_cache) live
+    # in mmap-backed columnar files at this point, so workers share one
+    # page-cache copy outright — no copy-on-write dirtying at all.
     for repetition in range(repetitions):
         cache.get(workload, total, seed + repetition)
 

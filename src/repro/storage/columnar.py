@@ -1,0 +1,246 @@
+"""Columnar on-disk reference traces.
+
+The paper's tables are pure functions of long reference strings, so the
+string itself is the one artifact worth persisting and sharing between
+runs, sweeps, and forked workers. This module stores a materialized
+page-id trace in the simplest layout that supports zero-copy reads: a
+small fixed header followed by the page ids as raw little-endian
+``int64`` — the same width :class:`repro.sim.trace_cache.CachedTrace`
+uses in memory (``array('q')``), so an ``mmap`` of the payload *is* the
+trace, with no decode step and no per-process copy.
+
+Layout (all integers little-endian)::
+
+    offset  size  field
+    0       8     magic  b"REPROTRC"
+    8       4     format version (currently 1)
+    12      8     generator seed
+    20      8     reference count
+    28      4     fingerprint length F (UTF-8 bytes)
+    32      F     workload fingerprint (free-form, e.g. "zipfian(n=1000)")
+    32+F    8*N   page ids, int64 little-endian
+
+The reader validates every header field against the file's actual size
+and raises :class:`repro.errors.TraceCorruptionError` on any mismatch —
+a truncated block, a bad magic, an unknown version, or a count that
+disagrees with the payload length must never be silently read as a
+shorter trace.
+
+Readers hand out the payload as a ``memoryview`` cast to 8-byte signed
+ints: indexing, slicing, and ``len`` work like the in-memory array, but
+the bytes stay in the page cache and are shared copy-free with every
+forked worker that inherits the mapping.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+from array import array
+from typing import Iterator, Optional, Sequence, Union
+
+from ..errors import TraceCorruptionError
+from ..types import PageId
+
+__all__ = [
+    "COLUMNAR_MAGIC",
+    "COLUMNAR_VERSION",
+    "TraceFile",
+    "bake_trace",
+    "write_trace",
+]
+
+COLUMNAR_MAGIC = b"REPROTRC"
+COLUMNAR_VERSION = 1
+
+#: magic + version + seed + count + fingerprint length.
+_HEADER = struct.Struct("<8sIqqI")
+
+#: Hard cap on the fingerprint field, so a corrupted length word cannot
+#: make the reader allocate or seek past any plausible header.
+_MAX_FINGERPRINT = 64 * 1024
+
+
+def write_trace(path: Union[str, os.PathLike], pages: Sequence[PageId],
+                fingerprint: str = "", seed: int = 0) -> int:
+    """Write a page-id sequence as a columnar trace file.
+
+    ``pages`` may be any int sequence; ``array('q')`` and compatible
+    memoryviews are written with one buffer copy. Returns the number of
+    bytes written. The write goes to a temporary sibling first and is
+    renamed into place, so a crashed bake never leaves a half-written
+    file at the destination.
+    """
+    encoded = fingerprint.encode("utf-8")
+    if len(encoded) > _MAX_FINGERPRINT:
+        raise ValueError("workload fingerprint too long")
+    if isinstance(pages, array) and pages.typecode == "q":
+        payload = pages
+    else:
+        payload = array("q", pages)
+    if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+        payload = array("q", payload)
+        payload.byteswap()
+    header = _HEADER.pack(COLUMNAR_MAGIC, COLUMNAR_VERSION, seed,
+                          len(payload), len(encoded))
+    path = os.fspath(path)
+    scratch = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(scratch, "wb") as handle:
+            handle.write(header)
+            handle.write(encoded)
+            handle.write(payload.tobytes())
+        os.replace(scratch, path)
+    finally:
+        if os.path.exists(scratch):
+            os.unlink(scratch)
+    return len(header) + len(encoded) + 8 * len(payload)
+
+
+def bake_trace(path: Union[str, os.PathLike], workload, count: int,
+               seed: int = 0) -> int:
+    """Materialize a workload's page-id stream straight into a trace file.
+
+    Uses the workload's bulk :meth:`~repro.workloads.base.Workload.
+    page_ids` materializer (falling back to draining ``references()``)
+    and writes the result with a fingerprint derived from the workload.
+    Returns the number of bytes written. Raises ``ValueError`` when the
+    workload's stream carries metadata a bare page-id trace cannot hold.
+    """
+    from ..sim.trace_cache import CachedTrace
+
+    trace = CachedTrace.materialize(workload, count, seed)
+    if not trace.plain:
+        raise ValueError(
+            f"{type(workload).__name__} references carry metadata "
+            "(writes or process ids); a columnar trace holds bare page "
+            "ids only")
+    return write_trace(path, trace.page_ids(),
+                       fingerprint=workload_fingerprint(workload), seed=seed)
+
+
+def workload_fingerprint(workload) -> str:
+    """A short, stable description of a workload's parameterization."""
+    parts = []
+    for name, value in sorted(vars(workload).items()):
+        if name.startswith("_") or callable(value):
+            continue
+        if isinstance(value, (int, float, str, bool)):
+            parts.append(f"{name}={value!r}")
+    return f"{type(workload).__name__}({', '.join(parts)})"
+
+
+class TraceFile:
+    """An ``mmap``-backed columnar trace, readable with zero copies.
+
+    The object owns the file descriptor and the mapping; both survive
+    ``fork`` so sweep workers inherit the same physical pages instead of
+    pickling (or copy-on-writing) a per-process array. Use as a context
+    manager or call :meth:`close` explicitly; the mapping is also
+    released on garbage collection.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._mmap: Optional[mmap.mmap] = None
+        self._pages: Optional[memoryview] = None
+        size = os.path.getsize(self.path)
+        if size < _HEADER.size:
+            raise TraceCorruptionError(
+                f"{self.path}: {size} bytes is shorter than the "
+                f"{_HEADER.size}-byte header")
+        with open(self.path, "rb") as handle:
+            head = handle.read(_HEADER.size)
+            magic, version, seed, count, fp_len = _HEADER.unpack(head)
+            if magic != COLUMNAR_MAGIC:
+                raise TraceCorruptionError(
+                    f"{self.path}: bad magic {magic!r} (expected "
+                    f"{COLUMNAR_MAGIC!r}); not a columnar trace")
+            if version != COLUMNAR_VERSION:
+                raise TraceCorruptionError(
+                    f"{self.path}: unsupported trace format version "
+                    f"{version} (this reader speaks {COLUMNAR_VERSION})")
+            if fp_len > _MAX_FINGERPRINT:
+                raise TraceCorruptionError(
+                    f"{self.path}: fingerprint length {fp_len} exceeds "
+                    f"the {_MAX_FINGERPRINT}-byte cap")
+            if count < 0:
+                raise TraceCorruptionError(
+                    f"{self.path}: negative reference count {count}")
+            expected = _HEADER.size + fp_len + 8 * count
+            if size != expected:
+                raise TraceCorruptionError(
+                    f"{self.path}: header promises {count} references "
+                    f"({expected} bytes) but the file holds {size} bytes")
+            fingerprint = handle.read(fp_len)
+            if len(fingerprint) != fp_len:
+                raise TraceCorruptionError(
+                    f"{self.path}: truncated fingerprint block")
+            self.seed = seed
+            self.count = count
+            self.fingerprint = fingerprint.decode("utf-8", "replace")
+            self._offset = _HEADER.size + fp_len
+            if count:
+                self._mmap = mmap.mmap(handle.fileno(), size,
+                                       prot=mmap.PROT_READ)
+
+    def __enter__(self) -> "TraceFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the mapping (page-id views become invalid)."""
+        if self._pages is not None:
+            self._pages.release()
+            self._pages = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __len__(self) -> int:
+        return self.count
+
+    def page_ids(self) -> Sequence[PageId]:
+        """The whole trace as a zero-copy int64 view of the mapping."""
+        if self.count == 0:
+            return array("q")
+        if self._mmap is None:
+            raise ValueError(f"{self.path}: trace file is closed")
+        if self._pages is None:
+            view = memoryview(self._mmap)[self._offset:]
+            if sys.byteorder != "little":  # pragma: no cover
+                swapped = array("q", view.tobytes())
+                swapped.byteswap()
+                return swapped
+            self._pages = view.cast("q")
+        return self._pages
+
+    def chunks(self, size: int = 1 << 20) -> Iterator[Sequence[PageId]]:
+        """Yield the trace as successive zero-copy views of ``size`` ids.
+
+        Each view is valid only until the next iteration: the generator
+        releases it as it advances (and on close), so a streaming
+        consumer never pins the mapping — :meth:`close` stays possible
+        even while a loop variable still names the last chunk. Copy a
+        chunk (``array('q', chunk)``) to keep it.
+        """
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        pages = self.page_ids()
+        for start in range(0, len(pages), size):
+            view = pages[start:start + size]
+            try:
+                yield view
+            finally:
+                if isinstance(view, memoryview):
+                    view.release()

@@ -24,6 +24,7 @@ from typing import Dict, Iterator, Sequence
 from ..errors import ConfigurationError
 from ..stats import SeededRng
 from ..types import PageId, Reference
+from . import vectorized
 from .base import Workload
 
 
@@ -73,14 +74,25 @@ class MovingHotspotWorkload(Workload):
         """Bulk sampling, chunked by epoch (hot-set start is loop-invariant
         within one epoch). Consumes the RNG exactly as :meth:`references`
         does — one ``random()`` then one ``randrange()`` per reference —
-        so the stream is identical for a given seed.
+        so the stream is identical for a given seed. Large requests go
+        through the numpy-vectorized generator (:mod:`repro.workloads.
+        vectorized`), property-tested stream-identical to this loop.
         """
+        batched = vectorized.hotspot_page_ids(self, count, seed)
+        if batched is not None:
+            return batched
         rng = SeededRng(seed)
         random_ = rng.random
-        randrange = rng.randrange
+        getrandbits = rng.getrandbits
         db = self.db_pages
         hot = self.hot_pages
         cold = db - hot
+        # randrange(n) is _randbelow: getrandbits(n.bit_length()),
+        # rejected while >= n. Inlining it here skips randrange's
+        # Python-level argument checking on every draw while consuming
+        # the generator identically, so the stream stays bit-identical.
+        bits_hot = hot.bit_length()
+        bits_cold = cold.bit_length()
         fraction = self.hot_fraction
         epoch_length = self.epoch_length
         out = array("q", bytes(8 * count))
@@ -92,9 +104,15 @@ class MovingHotspotWorkload(Workload):
             end = min(count, (epoch + 1) * epoch_length)
             for i in range(index, end):
                 if random_() < fraction:
-                    out[i] = (start + randrange(hot)) % db
+                    draw = getrandbits(bits_hot)
+                    while draw >= hot:
+                        draw = getrandbits(bits_hot)
+                    out[i] = (start + draw) % db
                 else:
-                    out[i] = (cold_base + randrange(cold)) % db
+                    draw = getrandbits(bits_cold)
+                    while draw >= cold:
+                        draw = getrandbits(bits_cold)
+                    out[i] = (cold_base + draw) % db
             index = end
         return out
 

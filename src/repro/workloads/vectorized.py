@@ -1,0 +1,376 @@
+"""numpy-batched workload generation, bit-identical to the scalar loops.
+
+Every determinism guarantee in this repository is keyed to
+``random.Random`` (CPython's MT19937): the same (workload, seed) must
+yield the same reference string everywhere, forever. A vectorized
+generator is therefore only admissible if it reproduces the *exact*
+stream the scalar fill loops in :meth:`~repro.workloads.zipfian.
+ZipfianWorkload.page_ids` and :meth:`~repro.workloads.hotspot.
+MovingHotspotWorkload.page_ids` produce — same seeding, same word
+consumption, same floating-point operations, bit for bit.
+
+numpy's own generators cannot do that (they seed MT19937 differently
+and consume words in different patterns), so this module re-implements
+the generator itself: :class:`MTStream` reproduces CPython's
+``init_by_array`` seeding and emits the tempered 32-bit word stream in
+vectorized blocks. On top of it:
+
+- ``random()`` is two words per draw: ``((a >> 5) * 2**26 + (b >> 6))
+  / 2**53`` — evaluated with the same IEEE-754 double operations.
+- ``randrange(n)`` is CPython's ``_randbelow``: ``getrandbits(k)`` with
+  ``k = n.bit_length()`` (one word per draw for ``n < 2**32``),
+  rejected while the draw is ``>= n``.
+
+The rejection loop makes each reference's word offset depend on every
+earlier outcome — an inherently sequential chain. :func:`hotspot_page_
+ids` sidesteps it by precomputing, for *every* word position, where a
+draw starting there would first be accepted (a vectorized reverse
+minimum-scan); the chain walk then reduces to one table lookup per
+reference, and everything around it — uniforms, branch choice, accepted
+values, epoch arithmetic — stays vectorized.
+
+The public generators return ``None`` whenever they decline (numpy
+missing, ``REPRO_NO_NUMPY`` set, or the request too small to amortize
+block generation); callers then run the scalar loop. Stream identity is
+property-tested against the scalar paths in
+``tests/workloads/test_vectorized.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import List, Optional
+
+__all__ = [
+    "HOTSPOT_MIN_VECTOR_COUNT",
+    "MIN_VECTOR_COUNT",
+    "MTStream",
+    "hotspot_page_ids",
+    "numpy_or_none",
+    "zipfian_page_ids",
+]
+
+#: Below this many references the scalar loop wins: seeding alone costs
+#: ~1.9k sequential state updates, which the vectorized blocks only
+#: amortize across a few thousand draws.
+MIN_VECTOR_COUNT = 2048
+
+#: Default threshold for :func:`hotspot_page_ids` — ``None`` declines.
+#: Unlike the Zipfian path (pure inverse-CDF, fully parallel, measured
+#: ~2x the scalar loop), the hotspot stream is rejection-sampled: each
+#: reference's word offset depends on every earlier accept/reject, and
+#: the chain walk that resolves it runs at Python speed over numpy-
+#: precomputed tables. Measured end to end that loses to the scalar
+#: fill loop (which inlines ``randrange``'s getrandbits rejection), so
+#: the vectorized generator stays opt-in: property tests force it with
+#: an explicit ``min_count``, and deployments where the trade-off
+#: differs can set this to an integer threshold.
+HOTSPOT_MIN_VECTOR_COUNT: Optional[int] = None
+
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER = 0x80000000
+_LOWER = 0x7FFFFFFF
+
+_numpy_module = None
+_numpy_checked = False
+
+
+def numpy_or_none():
+    """The numpy module, or None (not installed / ``REPRO_NO_NUMPY``).
+
+    The environment gate is consulted on every call so a test (or an
+    operator) can flip the fallback on without reloading modules; the
+    import itself is attempted only once.
+    """
+    global _numpy_module, _numpy_checked
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via env gate
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def _key_from_seed(seed: int) -> List[int]:
+    """CPython's ``random_seed``: |seed| as little-endian 32-bit words."""
+    n = abs(int(seed))
+    key: List[int] = []
+    while n:
+        key.append(n & 0xFFFFFFFF)
+        n >>= 32
+    return key or [0]
+
+
+def _init_by_array(key: List[int]) -> List[int]:
+    """The reference MT19937 ``init_by_array``, as CPython runs it."""
+    mt = [0] * _N
+    mt[0] = 19650218
+    for i in range(1, _N):
+        mt[i] = (1812433253 * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i) \
+            & 0xFFFFFFFF
+    i, j = 1, 0
+    for _ in range(max(_N, len(key))):
+        mt[i] = ((mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1664525))
+                 + key[j] + j) & 0xFFFFFFFF
+        i += 1
+        j += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+        if j >= len(key):
+            j = 0
+    for _ in range(_N - 1):
+        mt[i] = ((mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1566083941))
+                 - i) & 0xFFFFFFFF
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    mt[0] = 0x80000000
+    return mt
+
+
+class MTStream:
+    """CPython-identical MT19937 word stream, generated in numpy blocks.
+
+    ``words(n)`` returns the first ``n`` tempered 32-bit outputs of
+    ``random.Random(seed)`` as a ``uint32`` array. The stream is
+    append-only and cached, so consumers can re-read prefixes for free
+    while extending the tail on demand. The state recurrence advances
+    untempered in lag-227 vectorized segments (624 words per twist);
+    tempering — which is position-independent — is applied to whole
+    multi-block spans at once.
+    """
+
+    def __init__(self, seed: int, np=None) -> None:
+        self._np = np if np is not None else numpy_or_none()
+        if self._np is None:
+            raise RuntimeError("MTStream needs numpy")
+        self._state = self._np.array(_init_by_array(_key_from_seed(seed)),
+                                     dtype=self._np.uint32)
+        self._chunks: list = []
+        self._have = 0
+        self._cached = None
+
+    def words(self, n: int):
+        """The first ``n`` words of the stream (a shared, cached view)."""
+        np = self._np
+        if n > self._have:
+            blocks = []
+            while self._have + _N * len(blocks) < n:
+                blocks.append(self._twist_raw().copy())
+            raw = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+            self._chunks.append(self._temper(raw))
+            self._have += len(raw)
+            self._cached = None
+        if self._cached is None:
+            if len(self._chunks) > 1:
+                self._chunks = [np.concatenate(self._chunks)]
+            self._cached = self._chunks[0]
+        return self._cached[:n]
+
+    def _twist_raw(self):
+        """Advance the state one 624-word generation, in place.
+
+        The generation loop has in-round dependencies (index ``i`` reads
+        the value written at ``i - 227``), so the update runs in lag-227
+        segments, each reading only slots finalized before it.
+        """
+        np = self._np
+        mt = self._state
+        one = np.uint32(1)
+        y = (mt[:-1] & np.uint32(_UPPER)) | (mt[1:] & np.uint32(_LOWER))
+        feedback = (y >> one) ^ ((y & one) * np.uint32(_MATRIX_A))
+        mt[0:227] = mt[_M:_N] ^ feedback[0:227]
+        mt[227:454] = mt[0:227] ^ feedback[227:454]
+        mt[454:623] = mt[227:396] ^ feedback[454:623]
+        tail = (int(mt[623]) & _UPPER) | (int(mt[0]) & _LOWER)
+        mt[623] = int(mt[396]) ^ (tail >> 1) \
+            ^ (_MATRIX_A if tail & 1 else 0)
+        return mt
+
+    def _temper(self, raw):
+        np = self._np
+        out = raw  # the caller hands over ownership (a fresh copy)
+        out ^= out >> np.uint32(11)
+        out ^= (out << np.uint32(7)) & np.uint32(0x9D2C5680)
+        out ^= (out << np.uint32(15)) & np.uint32(0xEFC60000)
+        out ^= out >> np.uint32(18)
+        return out
+
+
+def _uniforms(np, a_words, b_words):
+    """``random.Random.random()`` over word pairs.
+
+    Same arithmetic as CPython's ``genrand_res53`` — the multiply and
+    the final division are single IEEE-754 double operations, so the
+    results are bit-identical to the scalar generator's.
+    """
+    a = (a_words >> np.uint32(5)).astype(np.float64)
+    b = (b_words >> np.uint32(6)).astype(np.float64)
+    return (a * 67108864.0 + b) / 9007199254740992.0
+
+
+def _to_array(np, pages) -> array:
+    out = array("q")
+    out.frombytes(np.ascontiguousarray(pages, dtype="<i8").tobytes())
+    return out
+
+
+def zipfian_page_ids(workload, count: int, seed: int,
+                     min_count: Optional[int] = None) -> Optional[array]:
+    """Vectorized inverse-CDF sampling for ``ZipfianWorkload``.
+
+    One uniform (two MT words) per reference, transformed with the same
+    ``n * u ** (1/theta)`` / ceil / clamp pipeline as the scalar loop.
+    Returns None when declining (no numpy, or the request is too small).
+    """
+    np = numpy_or_none()
+    if np is None:
+        return None
+    if min_count is None:
+        min_count = MIN_VECTOR_COUNT
+    if count < min_count:
+        return None
+    words = MTStream(seed, np).words(2 * count)
+    u = _uniforms(np, words[0::2], words[1::2])
+    pages = np.ceil(workload.n * u ** workload._inverse_exponent)
+    pages = np.clip(pages.astype(np.int64), 1, workload.n)
+    return _to_array(np, pages)
+
+
+def hotspot_page_ids(workload, count: int, seed: int,
+                     min_count: Optional[int] = None) -> Optional[array]:
+    """Vectorized sampling for ``MovingHotspotWorkload``.
+
+    Per reference the scalar loop consumes one ``random()`` (two words)
+    and one ``randrange(bound)`` (one word per attempt, rejection-
+    sampled), so a reference's word offset depends on every earlier
+    rejection. The chain is resolved exactly, not iteratively:
+
+    1. generate a word budget comfortably above the expected
+       consumption (expanded in the rare case it runs short);
+    2. for every position ``p``, vectorize the uniform a reference
+       *starting* at ``p`` would see, which branch it takes, and — via
+       a reverse minimum-scan over the acceptance mask — the position
+       where its ``randrange`` draw would be accepted;
+    3. fuse those into one successor table ``advance[p]`` = start of
+       the next reference, and walk it (one list lookup per reference);
+    4. gather the accepted draws at the recorded positions and finish
+       the hot/cold/epoch page arithmetic in bulk.
+    """
+    np = numpy_or_none()
+    if np is None:
+        return None
+    if min_count is None:
+        min_count = HOTSPOT_MIN_VECTOR_COUNT
+    if min_count is None or count < min_count:
+        return None
+
+    db = workload.db_pages
+    hot = workload.hot_pages
+    cold = db - hot
+    fraction = workload.hot_fraction
+    # Expected words/reference: 2 for the uniform plus the geometric
+    # rejection chains; the 1.10 margin plus slack covers the variance,
+    # and the walk falls through to a retry with a bigger budget if not.
+    accept_hot = hot / (1 << hot.bit_length())
+    accept_cold = cold / (1 << cold.bit_length())
+    per_ref = 2.0 + (fraction / accept_hot) + ((1.0 - fraction) / accept_cold)
+    budget = int(count * per_ref * 1.10) + 4096
+
+    stream = MTStream(seed, np)
+    for _ in range(8):
+        words = stream.words(budget)
+        last, hot_here = _walk_hotspot(np, words, workload, count)
+        if last is not None:
+            break
+        budget = int(budget * 1.5) + 4096
+    else:  # pragma: no cover - budget doubling always catches up
+        return None
+
+    # Each reference starts one word past its predecessor's acceptance.
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    np.add(last[:-1], 1, out=starts[1:])
+    hot_mask = hot_here[starts]
+    accepted = np.where(hot_mask,
+                        words[last] >> np.uint32(32 - hot.bit_length()),
+                        words[last] >> np.uint32(32 - cold.bit_length()))
+    accepted = accepted.astype(np.int64)
+
+    index = np.arange(count, dtype=np.int64)
+    epoch = index // workload.epoch_length
+    step = workload.drift_pages if workload.drift_pages else hot
+    start = (epoch * step) % db
+    pages = np.where(hot_mask, (start + accepted) % db,
+                     (start + hot + accepted) % db)
+    return _to_array(np, pages)
+
+
+def _walk_hotspot(np, words, workload, count):
+    """Resolve the hotspot consumption chain over a fixed word budget.
+
+    Returns ``(last, hot_here)`` — the per-reference position of the
+    accepted ``randrange`` word, and the per-*position* hot-branch mask
+    — or ``(None, None)`` when the budget ran out mid-chain. The
+    caller's start positions follow from ``last``: each reference
+    begins one word past its predecessor's acceptance.
+
+    ``accept[p]`` — the position where a reference *starting* at ``p``
+    gets its draw accepted — is precomputed for every position at once
+    (branch choice from the uniform at ``p``, acceptance position from
+    a reverse minimum-scan over each bound's acceptance mask). The
+    inherently sequential part that remains is one table lookup per
+    reference.
+    """
+    hot = workload.hot_pages
+    cold = workload.db_pages - hot
+    total = len(words)
+
+    u = _uniforms(np, words[:-1], words[1:])
+    hot_here = u < workload.hot_fraction
+
+    sentinel = np.int64(total)
+    positions = np.arange(total, dtype=np.int64)
+
+    def next_accept(shift, bound):
+        """First accepted position at or after p, per p (contiguous)."""
+        ok = (words >> np.uint32(shift)) < bound
+        marked = np.where(ok, positions, sentinel)
+        return np.minimum.accumulate(marked[::-1])[::-1].copy()
+
+    first_hot = next_accept(32 - hot.bit_length(), hot)
+    first_cold = next_accept(32 - cold.bit_length(), cold)
+
+    # A reference starting at p consumes words p, p+1 for its uniform,
+    # then scans from p+2 for an accepted draw — all slice-aligned, so
+    # the fuse needs no gathers. Rows whose scan would begin past the
+    # budget are covered by the sentinel tail below.
+    accept_at = np.where(hot_here[:total - 2], first_hot[2:],
+                         first_cold[2:])
+
+    # array('q') views: converting is a memcpy (no per-element boxing,
+    # unlike tolist), and indexing them in the walk stays C-speed.
+    accept = array("q")
+    accept.frombytes(np.ascontiguousarray(accept_at, dtype="<i8").tobytes())
+    # Sentinel tail keeps the walk's only bounds check on q: the largest
+    # reachable p is (total - 1) + 1, two past accept_at's last row.
+    accept.extend((total, total, total))
+    last = array("q", bytes(8 * count))
+    p = 0
+    for i in range(count):
+        q = accept[p]
+        if q >= total:
+            return None, None
+        last[i] = q
+        p = q + 1
+    out = np.frombuffer(last, dtype="<i8").astype(np.int64, copy=False)
+    return out, hot_here

@@ -1,0 +1,243 @@
+"""Columnar on-disk traces: round-trips, zero-copy reads, corruption.
+
+The format contract (:mod:`repro.storage.columnar`): a written trace
+reads back bit-identically through an ``mmap`` view with no decode
+step, and *every* way a file can lie about itself — truncation, foreign
+bytes, version skew, a count that disagrees with the payload — raises
+:class:`~repro.errors.TraceCorruptionError` instead of being silently
+read as a shorter trace. The spill wiring in
+:mod:`repro.sim.trace_cache` rides the same format, so its
+memory/mmap equivalence is pinned here too.
+"""
+
+import os
+import struct
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.errors import TraceCorruptionError
+from repro.sim import CachedTrace, measure_hit_ratio
+from repro.storage.columnar import (
+    COLUMNAR_MAGIC,
+    COLUMNAR_VERSION,
+    TraceFile,
+    bake_trace,
+    workload_fingerprint,
+    write_trace,
+)
+from repro.workloads import BankOLTPWorkload, ZipfianWorkload
+
+HEADER = struct.Struct("<8sIqqI")
+
+
+def write(tmp_path, pages, name="t.rtrc", **kwargs):
+    path = tmp_path / name
+    write_trace(path, pages, **kwargs)
+    return path
+
+
+class TestRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(pages=st.lists(st.integers(min_value=-2**62, max_value=2**62),
+                          max_size=200),
+           seed=st.integers(min_value=-2**31, max_value=2**31),
+           fingerprint=st.text(max_size=40))
+    def test_write_then_read_is_identity(self, tmp_path_factory, pages,
+                                         seed, fingerprint):
+        path = tmp_path_factory.mktemp("traces") / "t.rtrc"
+        written = write_trace(path, pages, fingerprint=fingerprint,
+                              seed=seed)
+        assert written == os.path.getsize(path)
+        with TraceFile(path) as trace:
+            assert len(trace) == len(pages)
+            assert trace.seed == seed
+            assert trace.fingerprint == fingerprint
+            assert list(trace.page_ids()) == pages
+
+    def test_reads_are_zero_copy_views(self, tmp_path):
+        path = write(tmp_path, array("q", range(1000)))
+        with TraceFile(path) as trace:
+            pages = trace.page_ids()
+            assert isinstance(pages, memoryview)
+            assert pages.format == "q"
+            # Slices stay views of the same mapping: no bytes copied.
+            assert pages[100:200].obj is pages.obj
+            assert pages is trace.page_ids()
+
+    def test_chunks_cover_the_trace_in_order(self, tmp_path):
+        path = write(tmp_path, array("q", range(1000)))
+        with TraceFile(path) as trace:
+            # Consume each view before advancing: chunk views pin the
+            # mapping (an exported view forbids closing the mmap), so
+            # streaming — not hoarding — is the contract.
+            sizes, flattened = [], []
+            for chunk in trace.chunks(size=256):
+                sizes.append(len(chunk))
+                flattened.extend(chunk)
+            assert sizes == [256, 256, 256, 232]
+            assert flattened == list(range(1000))
+            with pytest.raises(ValueError):
+                next(trace.chunks(size=0))
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = write(tmp_path, [])
+        with TraceFile(path) as trace:
+            assert len(trace) == 0
+            assert list(trace.page_ids()) == []
+
+    def test_closed_file_refuses_reads(self, tmp_path):
+        path = write(tmp_path, [1, 2, 3])
+        trace = TraceFile(path)
+        trace.close()
+        with pytest.raises(ValueError):
+            trace.page_ids()
+
+    def test_write_is_atomic_no_scratch_left(self, tmp_path):
+        write(tmp_path, [1, 2, 3])
+        assert os.listdir(tmp_path) == ["t.rtrc"]
+
+    def test_oversized_fingerprint_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(tmp_path / "t.rtrc", [1], fingerprint="x" * 70_000)
+
+
+def corrupt(path, offset, payload):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(payload)
+
+
+class TestCorruption:
+    """Every header lie must raise, never read as a shorter trace."""
+
+    def trace(self, tmp_path):
+        return write(tmp_path, list(range(100)), fingerprint="zipf")
+
+    def test_bad_magic(self, tmp_path):
+        path = self.trace(tmp_path)
+        corrupt(path, 0, b"NOTTRACE")
+        with pytest.raises(TraceCorruptionError, match="bad magic"):
+            TraceFile(path)
+
+    def test_arbitrary_file_is_not_a_trace(self, tmp_path):
+        path = tmp_path / "README.md"
+        path.write_bytes(b"# not a trace, but comfortably header-sized\n")
+        with pytest.raises(TraceCorruptionError, match="bad magic"):
+            TraceFile(path)
+
+    def test_version_skew(self, tmp_path):
+        path = self.trace(tmp_path)
+        corrupt(path, 8, struct.pack("<I", COLUMNAR_VERSION + 1))
+        with pytest.raises(TraceCorruptionError, match="version"):
+            TraceFile(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self.trace(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(HEADER.size - 1)
+        with pytest.raises(TraceCorruptionError, match="header"):
+            TraceFile(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self.trace(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 8)
+        with pytest.raises(TraceCorruptionError, match="holds"):
+            TraceFile(path)
+
+    def test_count_overstates_payload(self, tmp_path):
+        path = self.trace(tmp_path)
+        corrupt(path, 12, struct.pack("<q", 0) + struct.pack("<q", 101))
+        with pytest.raises(TraceCorruptionError, match="promises"):
+            TraceFile(path)
+
+    def test_negative_count(self, tmp_path):
+        path = self.trace(tmp_path)
+        corrupt(path, 20, struct.pack("<q", -1))
+        with pytest.raises(TraceCorruptionError, match="negative"):
+            TraceFile(path)
+
+    def test_fingerprint_length_beyond_cap(self, tmp_path):
+        path = self.trace(tmp_path)
+        corrupt(path, 28, struct.pack("<I", 2**31))
+        with pytest.raises(TraceCorruptionError, match="fingerprint"):
+            TraceFile(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = self.trace(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"junk")
+        with pytest.raises(TraceCorruptionError):
+            TraceFile(path)
+
+
+class TestBake:
+    def test_bake_matches_the_workload_stream(self, tmp_path):
+        workload = ZipfianWorkload(n=100)
+        path = tmp_path / "zipf.rtrc"
+        bake_trace(path, workload, 3000, seed=11)
+        with TraceFile(path) as trace:
+            assert list(trace.page_ids()) == \
+                list(workload.page_ids(3000, seed=11))
+            assert trace.seed == 11
+            assert trace.fingerprint == workload_fingerprint(workload)
+
+    def test_metadata_workloads_refuse_to_bake(self, tmp_path):
+        with pytest.raises(ValueError, match="metadata"):
+            bake_trace(tmp_path / "oltp.rtrc", BankOLTPWorkload(), 500,
+                       seed=1)
+
+    def test_fingerprint_reflects_parameters(self):
+        a = workload_fingerprint(ZipfianWorkload(n=100))
+        b = workload_fingerprint(ZipfianWorkload(n=200))
+        assert a.startswith("ZipfianWorkload(")
+        assert a != b
+        assert a == workload_fingerprint(ZipfianWorkload(n=100))
+
+
+class TestSpillWiring:
+    """CachedTrace spilling: same ids, same simulation results."""
+
+    def test_materialize_spills_past_the_threshold(self):
+        workload = ZipfianWorkload(n=50)
+        spilled = CachedTrace.materialize(workload, 2000, 3,
+                                          spill_threshold=1000)
+        in_memory = CachedTrace.materialize(workload, 2000, 3,
+                                            spill_threshold=None)
+        assert spilled.mmap_backed
+        assert not in_memory.mmap_backed
+        assert spilled.plain and in_memory.plain
+        assert list(spilled.page_ids()) == list(in_memory.page_ids())
+        # limit= hands back a sub-view of the same mapping, not a copy.
+        head = spilled.page_ids(limit=100)
+        assert len(head) == 100
+        assert isinstance(head, memoryview)
+
+    def test_spill_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SPILL", "500")
+        assert CachedTrace.materialize(ZipfianWorkload(n=50), 600,
+                                       1).mmap_backed
+        monkeypatch.setenv("REPRO_TRACE_SPILL", "0")
+        assert not CachedTrace.materialize(ZipfianWorkload(n=50), 600,
+                                           1).mmap_backed
+
+    def test_from_file_round_trips_through_the_simulator(self, tmp_path):
+        """Tables read through the mmap path must match the heap path."""
+        workload = ZipfianWorkload(n=80)
+        path = tmp_path / "zipf.rtrc"
+        bake_trace(path, workload, 1500, seed=7)
+        baked = CachedTrace.from_file(path)
+        assert baked.mmap_backed
+        direct = CachedTrace.materialize(workload, 1500, 7)
+        sim_a = measure_hit_ratio(
+            LRUKPolicy(k=2, correlated_reference_period=5), baked, 20, 300)
+        sim_b = measure_hit_ratio(
+            LRUKPolicy(k=2, correlated_reference_period=5), direct, 20, 300)
+        assert sim_a.counter == sim_b.counter
+        assert sim_a.resident_pages == sim_b.resident_pages
+        assert sim_a.evictions == sim_b.evictions

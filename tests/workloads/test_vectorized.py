@@ -1,0 +1,165 @@
+"""Vectorized workload generation is RNG-identical to the scalar loops.
+
+:mod:`repro.workloads.vectorized` rebuilds ``random.Random``'s exact
+word stream (MT19937) in numpy blocks, so the vectorized generators
+must produce *bit-identical* page sequences to draining
+``references()`` — not statistically similar ones. That identity is
+what lets :meth:`Workload.page_ids` switch paths by trace length
+without changing a single reported number. Every generator must also
+decline cleanly (return None) when numpy is missing or the request is
+too small, leaving the scalar loop in charge.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import compact_reference_pages
+from repro.workloads.hotspot import MovingHotspotWorkload
+from repro.workloads.vectorized import (
+    MIN_VECTOR_COUNT,
+    MTStream,
+    hotspot_page_ids,
+    numpy_or_none,
+    zipfian_page_ids,
+)
+from repro.workloads.zipfian import ZipfianWorkload
+
+needs_numpy = pytest.mark.skipif(numpy_or_none() is None,
+                                 reason="numpy unavailable")
+
+SEEDS = st.one_of(
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=-2**64, max_value=2**64),
+    st.just(0),
+)
+
+
+def scalar_pages(workload, count, seed):
+    """Ground truth: the page stream from the per-reference generator."""
+    return list(compact_reference_pages(
+        workload.references(count, seed=seed)))
+
+
+@needs_numpy
+class TestMTStream:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, count=st.integers(min_value=1, max_value=2000))
+    def test_words_match_getrandbits(self, seed, count):
+        rng = random.Random(seed)
+        expected = [rng.getrandbits(32) for _ in range(count)]
+        assert MTStream(seed).words(count).tolist() == expected
+
+    def test_extension_is_prefix_stable(self):
+        stream = MTStream(99)
+        head = stream.words(100).tolist()
+        full = stream.words(5000)
+        assert full[:100].tolist() == head
+        rng = random.Random(99)
+        assert full.tolist() == [rng.getrandbits(32) for _ in range(5000)]
+
+    def test_crossing_the_twist_boundary(self):
+        # 624 words per twist generation: read exactly around it.
+        rng = random.Random(7)
+        expected = [rng.getrandbits(32) for _ in range(1249)]
+        stream = MTStream(7)
+        assert stream.words(623).tolist() == expected[:623]
+        assert stream.words(625).tolist() == expected[:625]
+        assert stream.words(1249).tolist() == expected
+
+
+@needs_numpy
+class TestZipfianIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS,
+           count=st.integers(min_value=1, max_value=800),
+           n=st.integers(min_value=1, max_value=5000),
+           skew=st.sampled_from([(0.8, 0.2), (0.9, 0.1), (0.5, 0.5)]))
+    def test_matches_the_scalar_loop(self, seed, count, n, skew):
+        alpha, beta = skew
+        workload = ZipfianWorkload(n=n, alpha=alpha, beta=beta)
+        pages = zipfian_page_ids(workload, count, seed, min_count=1)
+        assert pages is not None
+        assert list(pages) == scalar_pages(workload, count, seed)
+
+    def test_workload_page_ids_agrees_across_the_threshold(self):
+        """The dispatching entry point must be seamless at the length
+        where it switches from the scalar loop to the vector path."""
+        workload = ZipfianWorkload(n=300)
+        for count in (MIN_VECTOR_COUNT - 1, MIN_VECTOR_COUNT,
+                      MIN_VECTOR_COUNT + 1):
+            assert list(workload.page_ids(count, seed=4)) == \
+                scalar_pages(workload, count, 4), count
+
+
+@needs_numpy
+class TestHotspotIdentity:
+    CONFIGS = [
+        MovingHotspotWorkload(db_pages=500, hot_pages=20,
+                              epoch_length=97),
+        MovingHotspotWorkload(db_pages=500, hot_pages=20,
+                              epoch_length=97, drift_pages=3),
+        MovingHotspotWorkload(db_pages=64, hot_pages=32,
+                              hot_fraction=0.5, epoch_length=1000),
+        MovingHotspotWorkload(db_pages=2000, hot_pages=7,
+                              hot_fraction=0.95, epoch_length=50),
+    ]
+
+    @pytest.mark.parametrize("workload", CONFIGS,
+                             ids=["jump", "drift", "even", "skewed"])
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_matches_the_scalar_loop(self, workload, seed):
+        # The rejection-sampled word chain is the hard part: 700
+        # references cross several epochs and plenty of rejections.
+        pages = hotspot_page_ids(workload, 700, seed, min_count=1)
+        assert pages is not None
+        assert list(pages) == scalar_pages(workload, 700, seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=SEEDS, count=st.integers(min_value=1, max_value=400))
+    def test_matches_under_hypothesis(self, seed, count):
+        workload = MovingHotspotWorkload(db_pages=300, hot_pages=30,
+                                         epoch_length=83, drift_pages=5)
+        pages = hotspot_page_ids(workload, count, seed, min_count=1)
+        assert pages is not None
+        assert list(pages) == scalar_pages(workload, count, seed)
+
+    def test_declines_by_default(self):
+        """Opt-in only: without a forced min_count the generator returns
+        None (HOTSPOT_MIN_VECTOR_COUNT is None — the scalar fill loop
+        measured faster end to end; see the module docstring)."""
+        workload = MovingHotspotWorkload(db_pages=500, hot_pages=20)
+        assert hotspot_page_ids(workload, 100_000, 1) is None
+
+
+class TestDeclines:
+    def test_small_requests_decline(self):
+        if numpy_or_none() is None:
+            pytest.skip("numpy unavailable")
+        workload = ZipfianWorkload(n=100)
+        assert zipfian_page_ids(workload, MIN_VECTOR_COUNT - 1, 1) is None
+        assert zipfian_page_ids(workload, MIN_VECTOR_COUNT, 1) is not None
+
+    def test_env_gate_declines_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert numpy_or_none() is None
+        workload = ZipfianWorkload(n=100)
+        assert zipfian_page_ids(workload, 10_000, 1, min_count=1) is None
+        hotspot = MovingHotspotWorkload(db_pages=500, hot_pages=20)
+        assert hotspot_page_ids(hotspot, 10_000, 1, min_count=1) is None
+
+    def test_page_ids_still_works_under_the_gate(self, monkeypatch):
+        """The dispatching entry point falls back to the scalar fill
+        loop — same stream, no numpy anywhere."""
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        workload = ZipfianWorkload(n=200)
+        count = MIN_VECTOR_COUNT + 100
+        assert list(workload.page_ids(count, seed=2)) == \
+            scalar_pages(workload, count, 2)
+
+    def test_mtstream_requires_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        with pytest.raises(RuntimeError):
+            MTStream(1)
