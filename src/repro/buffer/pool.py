@@ -16,6 +16,16 @@ A fixed set of :class:`~repro.buffer.frame.Frame` objects fronting a
 
 The convenience context manager :class:`PinnedPage` makes the common
 "fetch, use, unpin" sequence exception-safe.
+
+Concurrency contract: a ``BufferPool`` is **single-caller**. It shares
+its policy's thread-confinement rules (see :mod:`repro.policies.base`)
+and adds its own unguarded state — the page table, frame pins, the
+logical clock, and the stats block. Callers that want concurrency must
+serialize every method call externally; the supported way is
+:class:`repro.service.ShardedBufferManager`, which confines each pool
+(and its policy, clock, and disk) to one shard lock. Event sinks are
+likewise single-threaded, so concurrent pools must not share an
+observability dispatcher.
 """
 
 from __future__ import annotations
@@ -173,7 +183,7 @@ class BufferPool:
         if kind is AccessKind.WRITE:
             frame.dirty = True
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             obs.emit(AccessEvent(time=now, page=page_id,
                                  hit=frame_index is not None,
                                  write=kind is AccessKind.WRITE))
@@ -195,7 +205,7 @@ class BufferPool:
     def _evict(self, victim: PageId, now: int) -> Frame:
         frame = self.frame_of(victim)
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             distance, informed = victim_telemetry(self.policy, victim, now)
             obs.emit(EvictionEvent(time=now, victim=victim,
                                    dirty=frame.dirty,
@@ -237,7 +247,7 @@ class BufferPool:
         frame.dirty = False
         self.stats.flushes += 1
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             obs.emit(FlushEvent(time=self.clock.now, page=page_id))
         return True
 
@@ -245,7 +255,7 @@ class BufferPool:
         """Write back every dirty frame; returns how many were written."""
         flushed = 0
         obs = self._obs
-        emit = obs is not None and bool(obs._sinks)
+        emit = obs is not None and obs.has_sinks
         for frame in self._frames:
             if frame.page is not None and frame.dirty:
                 self.disk.write(frame.page)

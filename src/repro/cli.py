@@ -149,19 +149,23 @@ def _observability(quiet: bool,
         dispatcher.metrics = MetricsRegistry()
     server: Optional[MetricsServer] = None
     sampler: Optional[ResourceSampler] = None
-    if serve_metrics is not None:
-        assert dispatcher.metrics is not None
-        server = MetricsServer(dispatcher.metrics, port=serve_metrics)
-        server.start()
-        print(f"serving /metrics on {server.url}", file=sys.stderr)
-    if sample_resources:
-        assert dispatcher.metrics is not None
-        sampler = ResourceSampler(dispatcher.metrics,
-                                  interval=sample_resources,
-                                  dispatcher=dispatcher)
-        sampler.start()
     tracer: Optional[Tracer] = Tracer() if trace_out else None
+    # Everything from the first daemon-thread start to the last command
+    # output runs under one try/finally: a command that raises (or a
+    # sampler that fails to construct after the server bound its port)
+    # must never leak a live endpoint thread or a sampling thread.
     try:
+        if serve_metrics is not None:
+            assert dispatcher.metrics is not None
+            server = MetricsServer(dispatcher.metrics, port=serve_metrics)
+            server.start()
+            print(f"serving /metrics on {server.url}", file=sys.stderr)
+        if sample_resources:
+            assert dispatcher.metrics is not None
+            sampler = ResourceSampler(dispatcher.metrics,
+                                      interval=sample_resources,
+                                      dispatcher=dispatcher)
+            sampler.start()
         with obs_runtime.activate(dispatcher):
             if tracer is not None:
                 with obs_trace.activate(tracer):
@@ -316,6 +320,8 @@ def _list_targets() -> int:
     print("analysis:   trace-stats  explain")
     print("report:     report [--ablations] [--output FILE]")
     print("telemetry:  top (--url|--port|--file)  perf [--history FILE]")
+    print("service:    serve-bench (--shards --sessions --tenants "
+          "--quota ...)")
     print("ablations:  " + "  ".join(sorted(ABLATIONS)))
     return 0
 
@@ -440,6 +446,52 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--frames", type=int, default=None, metavar="N",
                      help="render N frames (scrolling, no clears) and exit")
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the concurrent multi-tenant buffer service with "
+             "threaded sessions; reports aggregate and per-tenant hit "
+             "ratios plus p50/p99/p999 request latency (docs/service.md)")
+    serve.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="independent buffer-pool shards (default 2)")
+    serve.add_argument("--sessions", type=int, default=8, metavar="N",
+                       help="concurrent session threads (default 8)")
+    serve.add_argument("--tenants", type=int, default=2, metavar="N",
+                       help="tenants to spread the sessions over "
+                            "round-robin (default 2)")
+    serve.add_argument("--refs", type=int, default=10_000, metavar="N",
+                       help="page references per session (default 10000)")
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="total buffer frames across all shards "
+                            "(default 256)")
+    serve.add_argument("--k", type=int, default=2,
+                       help="LRU-K history depth for the per-shard "
+                            "policies (default 2)")
+    serve.add_argument("--quota", type=int, default=None, metavar="FRAMES",
+                       help="per-tenant frame quota; over-quota tenants "
+                            "missing into a full shard evict their own "
+                            "LRU page first (default: no quotas)")
+    serve.add_argument("--workload", default="zipfian",
+                       choices=sorted(EXPLAIN_WORKLOADS),
+                       help="named workload each session replays, with "
+                            "per-session seeds (default zipfian)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base seed; session i uses seed+i (default 0)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress progress narration on stderr")
+    serve.add_argument("--serve-metrics", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the run's service.* instruments live "
+                            "on localhost:PORT/metrics; 0 picks a free "
+                            "port. Watch with `repro top`")
+    serve.add_argument("--sample-resources", type=float, default=None,
+                       metavar="SECONDS",
+                       help="publish process gauges (RSS, CPU, GC) every "
+                            "SECONDS while the bench runs")
+    serve.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
+                       help="keep the process (and any --serve-metrics "
+                            "endpoint) alive SECONDS after the report, "
+                            "so scrapers can read the final counters")
+
     perf = sub.add_parser(
         "perf",
         help="diff the latest BENCH_history.jsonl record against its "
@@ -493,6 +545,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list runnable targets")
     return parser
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.lruk import LRUKPolicy
+    from .service import ShardedBufferManager, run_load
+    from .sim.explain import make_workload
+
+    if args.tenants <= 0:
+        print("error: --tenants must be positive", file=sys.stderr)
+        return 2
+    tenants = {f"tenant{index}": make_workload(args.workload)
+               for index in range(args.tenants)}
+    quotas = ({name: args.quota for name in tenants}
+              if args.quota is not None else None)
+    with _observability(args.quiet, serve_metrics=args.serve_metrics,
+                        sample_resources=args.sample_resources) as (obs, _):
+        narrate = _progress_to(obs)
+        # The endpoint registry (when --serve-metrics/--sample-resources
+        # created one) doubles as the manager's, so a live scrape and the
+        # printed report read the same service.* instruments.
+        try:
+            manager = ShardedBufferManager(
+                args.capacity, shards=args.shards,
+                policy_factory=lambda: LRUKPolicy(k=args.k),
+                quotas=quotas, registry=obs.metrics)
+            narrate(f"serving {args.sessions} session(s) x {args.refs} "
+                    f"refs over {args.shards} shard(s), "
+                    f"{args.tenants} tenant(s) ...")
+            report = run_load(manager, tenants, sessions=args.sessions,
+                              references=args.refs, seed=args.seed)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.hold > 0:
+            narrate(f"holding for {args.hold:.1f}s (scrape window) ...")
+            time.sleep(args.hold)
+    return 0
 
 
 def _run_trace_bake(workload_name: str, refs: int, seed: int,
@@ -564,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              resume=args.resume,
                              serve_metrics=args.serve_metrics,
                              sample_resources=args.sample_resources)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     if args.command == "top":
         url = args.url
         if args.port is not None:

@@ -358,7 +358,7 @@ class LRUKPolicy(ReplacementPolicy):
         )
         recorder.record(decision, resident=self._resident, exclude=exclude)
         obs = self.observability
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             obs.emit(EvictionDecisionEvent.from_decision(decision))
         return victim
 
@@ -473,7 +473,7 @@ class LRUKPolicy(ReplacementPolicy):
         purged = self.history.touch(page, self._resident.__contains__)
         if purged:
             obs = self.observability
-            if obs is not None and obs._sinks:
+            if obs is not None and obs.has_sinks:
                 obs.emit(PurgeEvent(time=block.last, dropped=purged,
                                     retained=len(self.history)))
         if self.max_history_blocks is not None:

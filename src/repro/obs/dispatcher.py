@@ -74,11 +74,31 @@ class EventDispatcher:
     # -- sink management ---------------------------------------------------------
 
     @property
-    def active(self) -> bool:
-        """True when at least one sink is attached."""
+    def has_sinks(self) -> bool:
+        """True when at least one sink is attached.
+
+        The public form of the hot-path emission guard: drivers ask
+        this before *constructing* an event so an unobserved run pays
+        one attribute load and one truth test per reference. Code
+        outside this module must use this (or :attr:`active`) rather
+        than poking ``_sinks``.
+        """
         return bool(self._sinks)
 
-    __bool__ = active.fget
+    #: Alias kept for the original spelling of the guard.
+    active = has_sinks
+
+    __bool__ = has_sinks.fget
+
+    @property
+    def sinks(self) -> "tuple[Sink, ...]":
+        """Snapshot of the attached sinks, in attachment order.
+
+        For introspection (the resource sampler's per-sink depth
+        gauges); attachment management stays with :meth:`attach` /
+        :meth:`detach`.
+        """
+        return tuple(self._sinks)
 
     def attach(self, sink: Sink) -> Sink:
         """Attach a sink; returns it for fluent use."""

@@ -64,3 +64,24 @@ def activate(dispatcher: EventDispatcher) -> Iterator[EventDispatcher]:
         yield dispatcher
     finally:
         _active = previous
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Make the current dynamic extent *unobserved*, restoring on exit.
+
+    The inverse of :func:`activate`, for components that must not
+    inherit an ambient dispatcher even when one is active: sinks are
+    single-threaded by contract, so the concurrent buffer service
+    (:mod:`repro.service`) builds its shard pools under this — their
+    telemetry flows through the thread-safe metrics surface instead of
+    the event stream. Nesting composes with :func:`activate` exactly
+    like a ``with`` of either form.
+    """
+    global _active
+    previous = _active
+    _active = None
+    try:
+        yield
+    finally:
+        _active = previous

@@ -521,7 +521,7 @@ class ResourceSampler:
         """Publish a depth gauge per introspectable dispatcher sink."""
         assert self.dispatcher is not None
         seen: Dict[str, int] = {}
-        for sink in tuple(self.dispatcher._sinks):
+        for sink in self.dispatcher.sinks:
             depth: Optional[float] = None
             if hasattr(sink, "__len__"):
                 depth = float(len(sink))  # type: ignore[arg-type]

@@ -16,6 +16,7 @@ directly testable without a terminal, an HTTP server, or timing.
 from __future__ import annotations
 
 import json
+import re
 import sys
 import time
 import urllib.error
@@ -77,6 +78,29 @@ def read_snapshot_file(path: str) -> Exposition:
 
 
 # -- frame assembly ------------------------------------------------------------
+
+_TENANT_HITS = re.compile(
+    r"^service[._]tenant[._](?P<tenant>.+)[._]hits$")
+
+
+def _tenant_rows(exposition: Exposition
+                 ) -> List[Tuple[str, float, float]]:
+    """``(tenant, hits, misses)`` rows from either name spelling.
+
+    Tenant counters arrive as ``service_tenant_<t>_hits`` from a
+    ``/metrics`` scrape and as ``service.tenant.<t>.hits`` from a
+    snapshot file; both reduce to the same rows, sorted by tenant.
+    """
+    rows: List[Tuple[str, float, float]] = []
+    for name in exposition.samples:
+        match = _TENANT_HITS.match(name)
+        if match is None:
+            continue
+        tenant = match.group("tenant")
+        misses_name = name[:-len("hits")] + "misses"
+        rows.append((tenant, exposition.samples[name],
+                     exposition.value(misses_name, 0.0)))
+    return sorted(rows)
 
 
 def _bar(fraction: float, width: int = 24) -> str:
@@ -212,6 +236,44 @@ def render_frame(current: Exposition,
             sketch = _bucket_sketch(series)
             if sketch:
                 lines.append(f"           {sketch}")
+
+    # -- served buffer manager (repro serve-bench)
+    service_requests = current.value("service.requests", 0.0)
+    if service_requests:
+        d_requests = delta("service.requests")
+        if d_requests is not None and elapsed and elapsed > 0:
+            lines.append(f"  service  {d_requests / elapsed:>14,.0f} req/s"
+                         f"   (total {service_requests:,.0f})")
+        else:
+            lines.append(f"  service  requests {service_requests:>12,.0f}")
+        s_hits = current.value("service.hits", 0.0)
+        s_misses = current.value("service.misses", 0.0)
+        if s_hits + s_misses > 0:
+            ratio = s_hits / (s_hits + s_misses)
+            lines.append(f"  svc hits   {_bar(ratio, 20)} {ratio:.4f} "
+                         "(cumulative)")
+        latency = current.histograms.get("service_request_ms")
+        if latency is not None and latency.count:
+            quantiles = [(label, latency.quantile(q))
+                         for label, q in (("p50", 0.50), ("p99", 0.99),
+                                          ("p999", 0.999))]
+            rendered = "  ".join(f"{label} {value:.3f}"
+                                 for label, value in quantiles
+                                 if value is not None)
+            lines.append(f"  svc ms   {rendered}")
+        elif current.has("service.request_ms.count"):
+            lines.append(
+                "  svc ms   " + "  ".join(
+                    f"{label} "
+                    f"{current.value(f'service.request_ms.{label}'):.3f}"
+                    for label in ("p50", "p95", "p99")
+                    if current.has(f"service.request_ms.{label}")))
+        for tenant, hits, misses in _tenant_rows(current):
+            total_requests = hits + misses
+            ratio = hits / total_requests if total_requests else 0.0
+            lines.append(f"   tenant {tenant:<9} "
+                         f"{_bar(ratio, 16)} {ratio:.4f} "
+                         f"({int(total_requests):,} reqs)")
 
     # -- fault tolerance
     fault_names = (("retries", "sweep.cell.retries"),

@@ -21,6 +21,22 @@ bookkeeping and so invariants are checkable in tests.
 
 ``now`` is the 1-based reference-string subscript ``t`` of the access being
 processed, exactly the paper's notion of time.
+
+Threading contract
+------------------
+
+Policies are **thread-confined, not thread-safe**: a policy instance
+carries mutable bookkeeping (the residency mirror here, plus whatever
+the subclass keeps) and takes no locks of its own. Exactly one driver
+may deliver the event protocol to an instance, and concurrent drivers
+must hold an external lock around *every* hook call — the hooks are not
+individually atomic (``choose_victim`` followed by ``on_evict`` is one
+critical section, not two). The concurrent service layer
+(:mod:`repro.service.sharded`) satisfies this by giving each shard a
+private policy behind the shard lock and never sharing instances; the
+single-threaded simulators satisfy it trivially. Sharing one policy
+between pools, or one pool between unlocked threads, is a bug even if
+it happens not to crash.
 """
 
 from __future__ import annotations

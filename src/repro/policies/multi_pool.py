@@ -64,6 +64,16 @@ class MultiPoolPolicy(ReplacementPolicy):
     def on_evict(self, page: PageId, now: int) -> None:
         super().on_evict(page, now)
         del self._pools[self._domain(page)][page]
+        # Drop the memoized domain with the page: entries were only ever
+        # added, so a long trace grew the cache with every distinct page
+        # it had ever seen. Evicted pages are re-resolved (and re-cached)
+        # if they return, keeping the cache bounded by the resident set
+        # plus at most the incoming page of an in-flight victim choice.
+        del self._domain_cache[page]
+
+    def domain_cache_size(self) -> int:
+        """Memoized page→domain entries (bounded by residency + 1)."""
+        return len(self._domain_cache)
 
     def occupancy(self, domain: int) -> int:
         """Resident pages currently charged to a domain."""

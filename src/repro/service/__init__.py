@@ -1,0 +1,46 @@
+"""``repro.service`` — the concurrent, multi-tenant buffer service.
+
+The offline stack simulates one caller; this package *serves* the
+buffer manager to many. It is the "heavy traffic" layer of the
+reproduction: a sharded :class:`ShardedBufferManager` (hash page id →
+shard, each shard a private :class:`~repro.buffer.BufferPool` + policy
+behind one lock), tenant-scoped :class:`Session` handles, per-tenant
+admission quotas with fairness accounting (:class:`TenantLedger`), a
+threaded load generator (:func:`run_load`), and a serial-equivalence
+harness (:func:`served_equivalence`) proving the served path changes no
+replacement decision. See ``docs/service.md``.
+"""
+
+from .equivalence import (
+    EquivalenceReport,
+    SideTrace,
+    replay_offline,
+    replay_served,
+    served_equivalence,
+)
+from .loadgen import LoadReport, SessionResult, run_load
+from .quotas import TenantAccount, TenantLedger
+from .session import Session, SessionStats
+from .sharded import (
+    AutoAllocatingDisk,
+    BufferShard,
+    ShardedBufferManager,
+)
+
+__all__ = [
+    "AutoAllocatingDisk",
+    "BufferShard",
+    "EquivalenceReport",
+    "LoadReport",
+    "Session",
+    "SessionResult",
+    "SessionStats",
+    "ShardedBufferManager",
+    "SideTrace",
+    "TenantAccount",
+    "TenantLedger",
+    "replay_offline",
+    "replay_served",
+    "run_load",
+    "served_equivalence",
+]

@@ -1,0 +1,143 @@
+"""Serial-equivalence harness: the served path must not change decisions.
+
+The service layer adds sharding, locks, sessions, and accounting around
+:class:`~repro.buffer.BufferPool` — none of which may alter a single
+replacement decision when the concurrency collapses to the trivial case.
+This module proves the property the tests rely on: a **1-shard,
+1-session** :class:`~repro.service.sharded.ShardedBufferManager` run
+(no quotas) is *decision-identical* to driving the offline pool directly
+with the same fetch/unpin protocol — same hit sequence, same eviction
+sequence (time, victim, dirty), same :class:`~repro.buffer.stats
+.BufferStats`.
+
+Both sides are observed through the ordinary event stream (a recording
+sink on a private dispatcher), so the comparison also covers the
+telemetry the service emits, not just the counters it keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..buffer.pool import BufferPool
+from ..buffer.stats import BufferStats
+from ..obs.dispatcher import CallbackSink, EventDispatcher
+from ..obs.events import AccessEvent, EvictionEvent
+from ..policies.base import ReplacementPolicy
+from ..types import PageId
+from .sharded import AutoAllocatingDisk, ShardedBufferManager
+
+#: One recorded access: (time, page, hit).
+AccessRecord = Tuple[int, PageId, bool]
+#: One recorded eviction: (time, victim, dirty).
+EvictionRecord = Tuple[int, PageId, bool]
+
+
+@dataclass
+class SideTrace:
+    """Everything one replay side produced."""
+
+    accesses: List[AccessRecord] = field(default_factory=list)
+    evictions: List[EvictionRecord] = field(default_factory=list)
+    stats: Optional[BufferStats] = None
+
+    @property
+    def hit_sequence(self) -> List[bool]:
+        """The per-reference hit/miss outcomes, in order."""
+        return [hit for _, _, hit in self.accesses]
+
+
+@dataclass
+class EquivalenceReport:
+    """The two sides plus a verdict and human-readable mismatches."""
+
+    offline: SideTrace
+    served: SideTrace
+
+    @property
+    def identical(self) -> bool:
+        """True when every compared aspect matches exactly."""
+        return not self.mismatches()
+
+    def mismatches(self) -> List[str]:
+        """Descriptions of every way the served run diverged."""
+        problems: List[str] = []
+        if self.offline.hit_sequence != self.served.hit_sequence:
+            index = next(i for i, (a, b)
+                         in enumerate(zip(self.offline.hit_sequence,
+                                          self.served.hit_sequence))
+                         if a != b) if (len(self.offline.hit_sequence)
+                                        == len(self.served.hit_sequence)
+                                        ) else -1
+            problems.append(f"hit sequences diverge (first at ref "
+                            f"{index})")
+        if self.offline.accesses != self.served.accesses:
+            problems.append("access event streams differ")
+        if self.offline.evictions != self.served.evictions:
+            problems.append(
+                f"eviction sequences differ: offline "
+                f"{self.offline.evictions[:3]}... vs served "
+                f"{self.served.evictions[:3]}...")
+        if self.offline.stats != self.served.stats:
+            problems.append(f"stats differ: offline {self.offline.stats} "
+                            f"vs served {self.served.stats}")
+        return problems
+
+
+def _recording_dispatcher(trace: SideTrace) -> EventDispatcher:
+    dispatcher = EventDispatcher()
+
+    def record(event, context) -> None:
+        if isinstance(event, AccessEvent):
+            trace.accesses.append((event.time, event.page, event.hit))
+        elif isinstance(event, EvictionEvent):
+            trace.evictions.append((event.time, event.victim,
+                                    event.dirty))
+
+    dispatcher.attach(CallbackSink(record))
+    return dispatcher
+
+
+def replay_offline(pages: Sequence[PageId], capacity: int,
+                   policy: ReplacementPolicy,
+                   session_id: int = 0) -> SideTrace:
+    """Drive a bare :class:`BufferPool` with the fetch/unpin protocol."""
+    trace = SideTrace()
+    pool = BufferPool(AutoAllocatingDisk(), policy, capacity,
+                      observability=_recording_dispatcher(trace))
+    for page in pages:
+        pool.fetch(page, pin=True, process_id=session_id)
+        pool.unpin(page)
+    trace.stats = pool.stats
+    return trace
+
+
+def replay_served(pages: Sequence[PageId], capacity: int,
+                  policy_factory: Callable[[], ReplacementPolicy],
+                  shards: int = 1) -> SideTrace:
+    """Drive a served manager with one session over the same trace."""
+    trace = SideTrace()
+    manager = ShardedBufferManager(
+        capacity, shards=shards, policy_factory=policy_factory,
+        observability=_recording_dispatcher(trace))
+    with manager.session("equivalence") as session:
+        for page in pages:
+            session.fetch(page, pin=True)
+            session.unpin(page)
+    trace.stats = manager.stats()
+    return trace
+
+
+def served_equivalence(pages: Sequence[PageId], capacity: int,
+                       policy_factory: Callable[[], ReplacementPolicy]
+                       ) -> EquivalenceReport:
+    """Compare offline vs 1-shard/1-session served runs of one trace.
+
+    ``policy_factory`` is called once per side — policies are stateful,
+    so the two replays must not share an instance.
+    """
+    offline = replay_offline(pages, capacity, policy_factory(),
+                             session_id=0)
+    served = replay_served(pages, capacity, policy_factory, shards=1)
+    return EquivalenceReport(offline=offline, served=served)

@@ -1,0 +1,206 @@
+"""Threaded load generator: mixed tenant workloads at high concurrency.
+
+The paper's Section 5 argument for LRU-K is multi-user OLTP traffic;
+this module is the harness that produces it. Each *session* is one
+thread replaying a pre-materialized page-id stream through
+:meth:`~repro.service.session.Session.access` (fetch + unpin per
+reference); sessions are assigned to tenants round-robin, tenants map to
+workload generators, and every session gets its own seed so no two
+threads replay the same stream. Page streams are generated *before* the
+threads start, so the measured window contains only service time — lock
+waits included, which is the point: the latency histogram's p99/p999 is
+the contention signal offline hit-ratio sweeps cannot see.
+
+The result object aggregates three planes: per-session counters
+(thread-confined, summed), the manager's per-tenant fairness ledger, and
+the latency percentiles read back from the ``service.*`` metrics
+registry — the same instruments ``/metrics`` exposes live, so the
+printed report and a mid-run scrape agree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..workloads.base import Workload
+from .quotas import TenantAccount, TenantId
+from .session import SessionStats
+from .sharded import ShardedBufferManager
+
+#: Latency quantiles the report prints (label, q).
+LATENCY_QUANTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+@dataclass
+class SessionResult:
+    """One session thread's outcome."""
+
+    session_id: int
+    tenant: TenantId
+    stats: SessionStats
+    elapsed: float
+
+
+@dataclass
+class LoadReport:
+    """Everything one load-generation run measured."""
+
+    sessions: List[SessionResult]
+    per_tenant: Dict[TenantId, TenantAccount]
+    latency_ms: Dict[str, Dict[str, float]]
+    elapsed: float
+    shards: int
+    capacity: int
+
+    @property
+    def total_requests(self) -> int:
+        """Sum of per-session request counts."""
+        return sum(result.stats.requests for result in self.sessions)
+
+    @property
+    def total_hits(self) -> int:
+        """Sum of per-session hit counts."""
+        return sum(result.stats.hits for result in self.sessions)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Aggregate hit ratio across every session."""
+        requests = self.total_requests
+        return self.total_hits / requests if requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Requests per wall-clock second across all sessions."""
+        return self.total_requests / self.elapsed if self.elapsed else 0.0
+
+    def render(self) -> str:
+        """The human-readable serve-bench report."""
+        lines: List[str] = []
+        lines.append(
+            f"serve-bench: {len(self.sessions)} session(s), "
+            f"{self.shards} shard(s), capacity {self.capacity}")
+        lines.append(
+            f"  aggregate  requests {self.total_requests:>10,}  "
+            f"hit ratio {self.hit_ratio:.4f}  "
+            f"throughput {self.throughput:,.0f} req/s  "
+            f"elapsed {self.elapsed:.2f}s")
+        overall = self.latency_ms.get("", {})
+        if overall:
+            lines.append("  latency ms " + "  ".join(
+                f"{label} {overall[label]:.3f}"
+                for label, _ in LATENCY_QUANTILES if label in overall))
+        for tenant in sorted(self.per_tenant):
+            account = self.per_tenant[tenant]
+            quantiles = self.latency_ms.get(tenant, {})
+            latency = "  ".join(
+                f"{label} {quantiles[label]:.3f}"
+                for label, _ in LATENCY_QUANTILES if label in quantiles)
+            quota = (f"  quota {account.quota}"
+                     if account.quota is not None else "")
+            lines.append(
+                f"  tenant {tenant:<10} requests {account.requests:>9,}  "
+                f"hit ratio {account.hit_ratio:.4f}  "
+                f"resident {account.resident:>5}  "
+                f"quota-evictions {account.quota_evictions}{quota}")
+            if latency:
+                lines.append(f"    latency ms {latency}")
+        return "\n".join(lines)
+
+
+def _materialize(workload: Workload, count: int,
+                 seed: int) -> Sequence[int]:
+    """A session's page-id stream (compact when the workload allows)."""
+    pages = workload.page_ids(count, seed=seed)
+    if pages is not None:
+        return pages
+    return [ref.page for ref in workload.references(count, seed=seed)]
+
+
+def run_load(manager: ShardedBufferManager,
+             tenants: Mapping[TenantId, Workload],
+             sessions: int = 8,
+             references: int = 10_000,
+             seed: int = 0) -> LoadReport:
+    """Replay mixed tenant workloads through concurrent sessions.
+
+    ``sessions`` threads are assigned to the (sorted) tenants
+    round-robin; session ``i`` replays ``references`` page ids drawn
+    from its tenant's workload with seed ``seed + i``. Raises the first
+    worker exception after every thread has been joined, so a failing
+    run never leaks threads.
+    """
+    if sessions <= 0:
+        raise ConfigurationError("session count must be positive")
+    if references <= 0:
+        raise ConfigurationError("references per session must be positive")
+    if not tenants:
+        raise ConfigurationError("load generation needs at least one tenant")
+    tenant_order = sorted(tenants)
+    plans = []
+    for index in range(sessions):
+        tenant = tenant_order[index % len(tenant_order)]
+        stream = _materialize(tenants[tenant], references,
+                              seed=seed + index)
+        plans.append((manager.session(tenant), stream))
+
+    barrier = threading.Barrier(sessions)
+    failures: List[BaseException] = []
+    results: List[Optional[SessionResult]] = [None] * sessions
+
+    def drive(index: int) -> None:
+        session, stream = plans[index]
+        try:
+            barrier.wait()
+            started = time.perf_counter()
+            access = session.access
+            for page in stream:
+                access(page)
+            elapsed = time.perf_counter() - started
+            results[index] = SessionResult(
+                session_id=session.session_id, tenant=session.tenant,
+                stats=session.stats, elapsed=elapsed)
+        except BaseException as exc:  # re-raised by the caller
+            barrier.abort()
+            failures.append(exc)
+        finally:
+            session.close()
+
+    threads = [threading.Thread(target=drive, args=(index,),
+                                name=f"repro-loadgen-{index}")
+               for index in range(sessions)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        # Prefer a root cause over the BrokenBarrierError it induced in
+        # the sibling threads.
+        raise next((exc for exc in failures
+                    if not isinstance(exc, threading.BrokenBarrierError)),
+                   failures[0])
+
+    latency: Dict[str, Dict[str, float]] = {}
+    registry = manager.registry
+    overall = {label: value for label, q in LATENCY_QUANTILES
+               if (value := registry.percentile("service.request_ms", q))
+               is not None}
+    if overall:
+        latency[""] = overall
+    for tenant in tenant_order:
+        name = f"service.tenant.{tenant}.request_ms"
+        quantiles = {label: value for label, q in LATENCY_QUANTILES
+                     if (value := registry.percentile(name, q)) is not None}
+        if quantiles:
+            latency[tenant] = quantiles
+    completed = [result for result in results if result is not None]
+    return LoadReport(sessions=completed,
+                      per_tenant=manager.tenant_accounts(),
+                      latency_ms=latency, elapsed=elapsed,
+                      shards=len(manager.shards),
+                      capacity=manager.capacity)

@@ -1,0 +1,142 @@
+"""Per-tenant admission quotas and fairness accounting.
+
+The paper's multi-user OLTP setting (Section 5) mixes tenants with very
+different footprints in one buffer pool; the multi-pool baseline
+(:class:`repro.policies.multi_pool.MultiPoolPolicy`) showed the quota
+idiom for page *domains* — a domain at or over its quota pays for its
+own growth. The served buffer manager applies the same rule per
+*tenant*: when an over-quota tenant faults a new page in, the victim is
+preferentially one of that tenant's own resident pages, so a scan-heavy
+tenant cannot flush a well-behaved tenant's working set.
+
+:class:`TenantLedger` is the bookkeeping half: thread-safe per-tenant
+counters (requests, hits, admissions, quota evictions, resident pages)
+that the :class:`~repro.service.sharded.ShardedBufferManager` updates
+from many session threads. All mutation happens under one internal
+lock; snapshots are consistent copies.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+#: Tenants are named by opaque strings ("t0", "analytics", ...).
+TenantId = str
+
+
+@dataclass
+class TenantAccount:
+    """Fairness counters for one tenant."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    quota_evictions: int = 0
+    resident: int = 0
+    peak_resident: int = 0
+    quota: Optional[int] = None
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of this tenant's requests served from the buffer."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    @property
+    def over_quota(self) -> bool:
+        """True when the tenant occupies at least its quota of frames."""
+        return self.quota is not None and self.resident >= self.quota
+
+
+class TenantLedger:
+    """Thread-safe per-tenant usage accounting with optional quotas.
+
+    ``quotas`` maps tenant id to the maximum number of resident frames
+    the tenant may occupy before admission control makes it pay for its
+    own growth; tenants absent from the mapping (or a ``None`` mapping)
+    are unconstrained. The ledger never *enforces* anything itself — it
+    answers :meth:`over_quota` and counts what the manager did.
+    """
+
+    def __init__(self, quotas: Optional[Mapping[TenantId, int]] = None
+                 ) -> None:
+        if quotas:
+            for tenant, quota in quotas.items():
+                if quota <= 0:
+                    raise ConfigurationError(
+                        f"tenant {tenant!r} quota must be positive")
+        self._quotas: Dict[TenantId, int] = dict(quotas or {})
+        self._accounts: Dict[TenantId, TenantAccount] = {}
+        self._lock = threading.Lock()
+
+    def ensure(self, tenant: TenantId) -> None:
+        """Create the tenant's account if it does not exist yet."""
+        with self._lock:
+            self._account(tenant)
+
+    def _account(self, tenant: TenantId) -> TenantAccount:
+        account = self._accounts.get(tenant)
+        if account is None:
+            account = self._accounts[tenant] = TenantAccount(
+                quota=self._quotas.get(tenant))
+        return account
+
+    # -- recording (called by the manager, any thread) -----------------------
+
+    def record_request(self, tenant: TenantId, hit: bool) -> None:
+        """Count one fetch by the tenant."""
+        with self._lock:
+            account = self._account(tenant)
+            account.requests += 1
+            if hit:
+                account.hits += 1
+            else:
+                account.misses += 1
+
+    def record_admission(self, tenant: TenantId) -> None:
+        """The tenant faulted a page in; it now owns one more frame."""
+        with self._lock:
+            account = self._account(tenant)
+            account.admissions += 1
+            account.resident += 1
+            if account.resident > account.peak_resident:
+                account.peak_resident = account.resident
+
+    def record_eviction(self, tenant: TenantId,
+                        quota_enforced: bool = False) -> None:
+        """A page owned by the tenant left the buffer."""
+        with self._lock:
+            account = self._account(tenant)
+            account.evictions += 1
+            account.resident -= 1
+            if quota_enforced:
+                account.quota_evictions += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def over_quota(self, tenant: TenantId) -> bool:
+        """True when admitting one more page would exceed the quota."""
+        with self._lock:
+            return self._account(tenant).over_quota
+
+    def quota_of(self, tenant: TenantId) -> Optional[int]:
+        """The tenant's configured quota, if any."""
+        return self._quotas.get(tenant)
+
+    def snapshot(self) -> Dict[TenantId, TenantAccount]:
+        """A consistent copy of every tenant's account."""
+        with self._lock:
+            return {tenant: replace(account)
+                    for tenant, account in self._accounts.items()}
+
+    def tenants(self) -> "list[TenantId]":
+        """Known tenant ids, sorted."""
+        with self._lock:
+            return sorted(self._accounts)

@@ -1,0 +1,119 @@
+"""Sessions: the per-caller handle onto the sharded buffer service.
+
+A :class:`Session` carries the tenant identity (for quota and fairness
+accounting) and a session id (threaded into references as the
+``process_id``, the paper's Section 2.1.1 metadata) so the manager can
+attribute every request. Sessions are cheap, thread-confined objects:
+one thread drives one session, many sessions drive one manager
+concurrently. The session-local :class:`SessionStats` therefore needs no
+lock, and summing per-session counts must reproduce the manager's
+aggregate totals exactly (property-tested under contention in
+``tests/service/test_concurrency.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+from contextlib import contextmanager
+
+from ..buffer.frame import Frame
+from ..types import AccessKind, PageId
+from .quotas import TenantId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .sharded import ShardedBufferManager
+
+
+@dataclass
+class SessionStats:
+    """Thread-confined request counters for one session."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of this session's requests served from the buffer."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class Session:
+    """One caller's fetch/unpin surface over the sharded manager.
+
+    Obtain via :meth:`ShardedBufferManager.session`. Use from exactly
+    one thread; the manager does all cross-thread synchronization.
+    """
+
+    def __init__(self, manager: "ShardedBufferManager", tenant: TenantId,
+                 session_id: int) -> None:
+        self._manager = manager
+        self.tenant = tenant
+        self.session_id = session_id
+        self.stats = SessionStats()
+        self._closed = False
+
+    # -- the request protocol ------------------------------------------------
+
+    def fetch(self, page_id: PageId,
+              kind: AccessKind = AccessKind.READ,
+              pin: bool = True) -> Frame:
+        """Request a page (pinned unless ``pin=False``); the frame."""
+        frame, hit = self._manager.fetch(page_id, self.tenant,
+                                         session_id=self.session_id,
+                                         kind=kind, pin=pin)
+        self.stats.requests += 1
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return frame
+
+    def unpin(self, page_id: PageId, dirty: bool = False) -> None:
+        """Release one pin taken by :meth:`fetch`."""
+        self._manager.unpin(page_id, dirty)
+
+    @contextmanager
+    def pinned(self, page_id: PageId,
+               kind: AccessKind = AccessKind.READ) -> Iterator[Frame]:
+        """Exception-safe fetch/use/unpin, the service-side
+        :class:`~repro.buffer.pool.PinnedPage`."""
+        frame = self.fetch(page_id, kind=kind, pin=True)
+        try:
+            yield frame
+        finally:
+            self.unpin(page_id)
+
+    def access(self, page_id: PageId,
+               kind: AccessKind = AccessKind.READ) -> bool:
+        """One complete request (fetch + immediate unpin); whether it hit.
+
+        The load generator's operation: the pin is held only for the
+        duration of the fetch, modelling a reference rather than a
+        long-held working page.
+        """
+        before = self.stats.hits
+        self.fetch(page_id, kind=kind, pin=True)
+        self.unpin(page_id)
+        return self.stats.hits > before
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark the session finished (idempotent); updates the gauge."""
+        if not self._closed:
+            self._closed = True
+            self._manager._session_closed()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Session(tenant={self.tenant!r}, id={self.session_id}, "
+                f"requests={self.stats.requests})")

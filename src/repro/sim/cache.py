@@ -130,7 +130,7 @@ class CacheSimulator:
             self._resident[ref.page] = True
         self.counter.record(outcome.hit)
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             obs.emit(AccessEvent(time=t, page=ref.page, hit=outcome.hit,
                                  write=ref.is_write))
         return outcome
@@ -166,7 +166,7 @@ class CacheSimulator:
             self._admitted_at[page] = t
         self.counter.record(hit)
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             obs.emit(AccessEvent(time=t, page=page, hit=hit, write=False))
         return hit
 
@@ -205,7 +205,7 @@ class CacheSimulator:
                 or self.clock.now != 0 or self.counter.total):
             return False
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             return False
         if obs_trace.current() is not None:
             return False
@@ -243,7 +243,7 @@ class CacheSimulator:
             # with the outcome only the driver knows.
             self._provenance.annotate_eviction(victim, t, dirty)
         obs = self._obs
-        if obs is not None and obs._sinks:
+        if obs is not None and obs.has_sinks:
             distance, informed = victim_telemetry(self.policy, victim, t)
             obs.emit(EvictionEvent(time=t, victim=victim, dirty=dirty,
                                    backward_k_distance=distance,

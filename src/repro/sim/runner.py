@@ -186,7 +186,7 @@ def measure_hit_ratio(policy: ReplacementPolicy,
     simulator = CacheSimulator(policy, capacity,
                                observability=observability)
     obs = simulator._obs
-    observing = obs is not None and bool(obs._sinks)
+    observing = obs is not None and obs.has_sinks
     if observing:
         obs.emit(SnapshotEvent(time=0, phase="start",
                                counters={"capacity": float(capacity),

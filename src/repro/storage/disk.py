@@ -77,6 +77,29 @@ class SimulatedDisk:
         self.stats.allocations += 1
         return page_id
 
+    def allocate_at(self, page_id: PageId) -> PageId:
+        """Allocate a specific page id (sparse addressing), zero-filled.
+
+        A no-op when the page already exists. Workload generators name
+        pages directly (``N = {1, ..., n}``) rather than asking a
+        sequential allocator, so the served buffer manager materializes
+        each page the first time a reference addresses it. The
+        sequential allocator is kept ahead of every sparse id so the two
+        allocation styles never collide.
+        """
+        if page_id < 0:
+            raise ConfigurationError("page ids are non-negative integers")
+        if page_id in self._pages:
+            return page_id
+        if (self.capacity_pages is not None
+                and len(self._pages) >= self.capacity_pages):
+            raise ConfigurationError("disk is full")
+        self._pages[page_id] = DiskPage(page_id).to_bytes()
+        self.stats.allocations += 1
+        if page_id >= self._next_page_id:
+            self._next_page_id = page_id + 1
+        return page_id
+
     def allocate_many(self, count: int) -> range:
         """Allocate ``count`` consecutive pages; returns their id range."""
         if count < 0:

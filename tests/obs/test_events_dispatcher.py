@@ -112,3 +112,58 @@ class TestDispatcher:
         # Simulators built outside the extent stay unobserved.
         CacheSimulator(LRUPolicy(), capacity=2).access(1)
         assert len(ring.events("access")) == 1
+
+
+class TestHasSinks:
+    def test_empty_dispatcher_has_no_sinks(self):
+        dispatcher = EventDispatcher()
+        assert dispatcher.has_sinks is False
+        assert not dispatcher
+        assert dispatcher.sinks == ()
+
+    def test_attach_detach_toggle_the_guard(self):
+        dispatcher = EventDispatcher()
+        sink = dispatcher.attach(RingBufferSink())
+        assert dispatcher.has_sinks is True
+        assert bool(dispatcher)
+        dispatcher.detach(sink)
+        assert dispatcher.has_sinks is False
+
+    def test_active_is_an_alias_for_has_sinks(self):
+        dispatcher = EventDispatcher()
+        assert dispatcher.active is False
+        dispatcher.attach(RingBufferSink())
+        assert dispatcher.active is True
+
+    def test_close_clears_the_guard(self):
+        dispatcher = EventDispatcher()
+        dispatcher.attach(RingBufferSink())
+        dispatcher.close()
+        assert dispatcher.has_sinks is False
+
+    def test_sinks_snapshot_preserves_attachment_order(self):
+        dispatcher = EventDispatcher()
+        first = dispatcher.attach(RingBufferSink())
+        second = dispatcher.attach(RingBufferSink())
+        assert dispatcher.sinks == (first, second)
+        # A snapshot, not the live list: mutating it is impossible and
+        # detaching afterwards does not rewrite history.
+        snapshot = dispatcher.sinks
+        dispatcher.detach(first)
+        assert snapshot == (first, second)
+        assert dispatcher.sinks == (second,)
+
+
+class TestSuppress:
+    def test_suppress_hides_the_ambient_dispatcher(self):
+        dispatcher = EventDispatcher()
+        dispatcher.attach(RingBufferSink())
+        with runtime.activate(dispatcher):
+            assert runtime.current() is dispatcher
+            with runtime.suppress():
+                assert runtime.current() is None
+            assert runtime.current() is dispatcher
+
+    def test_suppress_without_an_ambient_dispatcher_is_harmless(self):
+        with runtime.suppress():
+            assert runtime.current() is None

@@ -214,3 +214,71 @@ class TestRunTop:
                            stream=out)
         assert code == 0
         assert out.getvalue().count("repro top") == 2
+
+
+class TestServiceRows:
+    @staticmethod
+    def _service_exposition(requests=100, hits=60, misses=40,
+                            latencies=(), tenants=()):
+        registry = MetricsRegistry()
+        registry.counter("service.requests").inc(requests)
+        registry.counter("service.hits").inc(hits)
+        registry.counter("service.misses").inc(misses)
+        if latencies:
+            histogram = registry.histogram("service.request_ms",
+                                           0.0, 5.0, 500)
+            for value in latencies:
+                histogram.observe(value)
+        for tenant, tenant_hits, tenant_misses in tenants:
+            registry.counter(f"service.tenant.{tenant}.hits").inc(
+                tenant_hits)
+            registry.counter(f"service.tenant.{tenant}.misses").inc(
+                tenant_misses)
+        return parse_exposition(render_exposition(registry))
+
+    def test_absent_without_service_counters(self):
+        frame = render_frame(_exposition(
+            counters={"protocol.references": 10}))
+        assert "svc hits" not in frame
+
+    def test_cumulative_service_section(self):
+        frame = render_frame(self._service_exposition())
+        assert "service" in frame
+        assert "0.6000 (cumulative)" in frame
+
+    def test_request_rate_from_successive_polls(self):
+        previous = self._service_exposition(requests=100)
+        current = self._service_exposition(requests=300)
+        frame = render_frame(current, previous, elapsed=2.0)
+        assert "100 req/s" in frame  # 200 new requests / 2s
+
+    def test_latency_quantiles_from_scraped_histogram(self):
+        frame = render_frame(self._service_exposition(
+            latencies=[0.01] * 99 + [2.0]))
+        assert "svc ms" in frame
+        assert "p50" in frame and "p999" in frame
+
+    def test_latency_from_flat_snapshot_keys(self):
+        exposition = self._service_exposition()
+        exposition.samples.update({"service.request_ms.count": 4.0,
+                                   "service.request_ms.p50": 0.01,
+                                   "service.request_ms.p99": 0.5})
+        frame = render_frame(exposition)
+        assert "svc ms" in frame and "p99 0.500" in frame
+
+    def test_per_tenant_rows_sorted(self):
+        frame = render_frame(self._service_exposition(
+            tenants=[("beta", 30, 10), ("alpha", 10, 30)]))
+        assert "tenant alpha" in frame and "tenant beta" in frame
+        assert frame.index("tenant alpha") < frame.index("tenant beta")
+        assert "0.2500 (40 reqs)" in frame
+        assert "0.7500 (40 reqs)" in frame
+
+    def test_tenant_rows_parse_both_name_spellings(self):
+        from repro.obs.top import _tenant_rows
+        scraped = self._service_exposition(tenants=[("a", 5, 5)])
+        assert _tenant_rows(scraped) == [("a", 5.0, 5.0)]
+        flat = parse_exposition("")
+        flat.samples = {"service.tenant.a.hits": 7.0,
+                        "service.tenant.a.misses": 3.0}
+        assert _tenant_rows(flat) == [("a", 7.0, 3.0)]

@@ -96,3 +96,25 @@ class TestDomainSeparation:
         policy.reset()
         assert len(policy) == 0
         assert policy.occupancy(1) == 0
+
+
+class TestDomainCacheBound:
+    def test_cache_never_outgrows_the_resident_set(self):
+        # Regression: the page->domain memo used to grow without bound
+        # under churn (one entry per distinct page ever seen). It must
+        # stay bounded by residency plus at most the one in-flight
+        # incoming page.
+        policy = two_domains(hot_quota=2, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in range(10_000):
+            simulator.access(page if page % 3 == 0 else 100 + page)
+            assert policy.domain_cache_size() <= len(policy) + 1
+        assert policy.domain_cache_size() <= 5
+
+    def test_reset_clears_the_cache(self):
+        policy = two_domains(hot_quota=2, cold_quota=2)
+        simulator = CacheSimulator(policy, capacity=4)
+        for page in [0, 1, 100]:
+            simulator.access(page)
+        policy.reset()
+        assert policy.domain_cache_size() == 0

@@ -1,0 +1,66 @@
+"""Serial equivalence: the served path changes no replacement decision."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LRUKPolicy
+from repro.policies import LRUPolicy
+from repro.service import (
+    replay_offline,
+    replay_served,
+    served_equivalence,
+)
+
+
+def zipfian_stream(count: int, pages: int = 200, seed: int = 0):
+    rng = random.Random(seed)
+    return [min(int(pages ** rng.random()), pages - 1)
+            for _ in range(count)]
+
+
+class TestDeterministicTraces:
+    def test_zipfian_trace_is_decision_identical(self):
+        report = served_equivalence(zipfian_stream(4000), capacity=32,
+                                    policy_factory=lambda: LRUKPolicy(k=2))
+        assert report.identical, report.mismatches()
+
+    def test_lru_policy_also_equivalent(self):
+        report = served_equivalence(zipfian_stream(2000, seed=3),
+                                    capacity=16,
+                                    policy_factory=LRUPolicy)
+        assert report.identical, report.mismatches()
+
+    def test_stats_and_event_streams_compared(self):
+        pages = [1, 2, 3, 1, 4, 5, 1, 2, 6]
+        report = served_equivalence(pages, capacity=3,
+                                    policy_factory=LRUPolicy)
+        assert report.identical
+        assert len(report.offline.accesses) == len(pages)
+        assert report.served.stats is not None
+        assert report.served.stats.evictions == len(
+            report.served.evictions)
+
+    def test_mismatches_describe_divergence(self):
+        # Different traces on the two sides must be reported, not hidden.
+        offline = replay_offline([1, 2, 3], capacity=2,
+                                 policy=LRUPolicy())
+        served = replay_served([1, 2, 4], capacity=2,
+                               policy_factory=LRUPolicy)
+        from repro.service import EquivalenceReport
+        report = EquivalenceReport(offline=offline, served=served)
+        assert not report.identical
+        assert report.mismatches()
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(pages=st.lists(st.integers(min_value=0, max_value=40),
+                          min_size=1, max_size=300),
+           capacity=st.integers(min_value=2, max_value=12),
+           k=st.integers(min_value=1, max_value=3))
+    def test_any_trace_any_capacity(self, pages, capacity, k):
+        report = served_equivalence(pages, capacity,
+                                    policy_factory=lambda: LRUKPolicy(k=k))
+        assert report.identical, report.mismatches()

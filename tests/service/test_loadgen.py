@@ -1,0 +1,114 @@
+"""Threaded load generation: totals, reports, and failure handling."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ShardedBufferManager, run_load
+from repro.workloads import ZipfianWorkload
+
+
+def small_manager(**kwargs) -> ShardedBufferManager:
+    kwargs.setdefault("capacity", 64)
+    kwargs.setdefault("shards", 2)
+    return ShardedBufferManager(kwargs.pop("capacity"), **kwargs)
+
+
+def tenant_workloads(count=2):
+    return {f"t{i}": ZipfianWorkload(n=200) for i in range(count)}
+
+
+class TestValidation:
+    def test_rejects_non_positive_sessions(self):
+        with pytest.raises(ConfigurationError):
+            run_load(small_manager(), tenant_workloads(), sessions=0)
+
+    def test_rejects_non_positive_references(self):
+        with pytest.raises(ConfigurationError):
+            run_load(small_manager(), tenant_workloads(), references=0)
+
+    def test_rejects_empty_tenant_map(self):
+        with pytest.raises(ConfigurationError):
+            run_load(small_manager(), {})
+
+
+class TestAccounting:
+    def test_totals_and_round_robin_assignment(self):
+        report = run_load(small_manager(), tenant_workloads(2),
+                          sessions=4, references=500)
+        assert len(report.sessions) == 4
+        assert report.total_requests == 4 * 500
+        assert report.total_hits == sum(r.stats.hits
+                                        for r in report.sessions)
+        # 4 sessions over 2 tenants round-robin: 2 sessions each.
+        per_tenant = report.per_tenant
+        assert per_tenant["t0"].requests == 1000
+        assert per_tenant["t1"].requests == 1000
+        assert 0.0 < report.hit_ratio < 1.0
+
+    def test_ledger_agrees_with_session_sums(self):
+        report = run_load(small_manager(), tenant_workloads(2),
+                          sessions=4, references=400)
+        by_tenant_sessions = {}
+        for result in report.sessions:
+            account = by_tenant_sessions.setdefault(result.tenant,
+                                                    [0, 0])
+            account[0] += result.stats.requests
+            account[1] += result.stats.hits
+        for tenant, (requests, hits) in by_tenant_sessions.items():
+            assert report.per_tenant[tenant].requests == requests
+            assert report.per_tenant[tenant].hits == hits
+
+    def test_latency_quantiles_present(self):
+        report = run_load(small_manager(), tenant_workloads(1),
+                          sessions=2, references=300)
+        assert set(report.latency_ms[""]) == {"p50", "p99", "p999"}
+        assert set(report.latency_ms["t0"]) == {"p50", "p99", "p999"}
+        assert report.latency_ms[""]["p50"] >= 0.0
+
+    def test_render_mentions_every_surface(self):
+        report = run_load(small_manager(quotas={"t0": 8}),
+                          tenant_workloads(2), sessions=2,
+                          references=300)
+        text = report.render()
+        assert "hit ratio" in text
+        assert "p50" in text and "p99" in text
+        assert "tenant t0" in text and "tenant t1" in text
+        assert "quota 8" in text
+        assert "throughput" in text
+
+
+class TestFailurePropagation:
+    def test_worker_exception_reraised_and_no_threads_leaked(self):
+        manager = small_manager()
+        boom = RuntimeError("injected fault")
+        original = manager.fetch
+        calls = []
+
+        def failing_fetch(page_id, tenant, **kwargs):
+            calls.append(page_id)
+            if len(calls) > 5:
+                raise boom
+            return original(page_id, tenant, **kwargs)
+
+        manager.fetch = failing_fetch
+        before = threading.active_count()
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run_load(manager, tenant_workloads(1), sessions=3,
+                     references=200)
+        # Every worker was joined before the re-raise; the broken
+        # barrier in sibling threads must not mask the root cause.
+        assert threading.active_count() == before
+
+    def test_sessions_closed_even_on_failure(self):
+        manager = small_manager()
+
+        def always_fail(page_id, tenant, **kwargs):
+            raise ValueError("nope")
+
+        manager.fetch = always_fail
+        with pytest.raises(ValueError):
+            run_load(manager, tenant_workloads(1), sessions=2,
+                     references=10)
+        assert manager.registry.snapshot()["service.sessions"] == 0

@@ -1,0 +1,89 @@
+"""TenantLedger: per-tenant fairness accounting and quota queries."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import TenantLedger
+
+
+class TestConstruction:
+    def test_rejects_non_positive_quotas(self):
+        with pytest.raises(ConfigurationError):
+            TenantLedger({"a": 0})
+        with pytest.raises(ConfigurationError):
+            TenantLedger({"a": -3})
+
+    def test_no_quotas_means_unconstrained(self):
+        ledger = TenantLedger()
+        assert ledger.quota_of("anyone") is None
+        assert not ledger.over_quota("anyone")
+
+
+class TestRecording:
+    def test_request_hit_miss_split(self):
+        ledger = TenantLedger()
+        ledger.record_request("a", hit=True)
+        ledger.record_request("a", hit=False)
+        ledger.record_request("a", hit=False)
+        account = ledger.snapshot()["a"]
+        assert account.requests == 3
+        assert account.hits == 1
+        assert account.misses == 2
+        assert account.hit_ratio == pytest.approx(1 / 3)
+
+    def test_hit_ratio_of_idle_tenant_is_zero(self):
+        ledger = TenantLedger()
+        ledger.ensure("idle")
+        assert ledger.snapshot()["idle"].hit_ratio == 0.0
+
+    def test_residency_tracks_admissions_minus_evictions(self):
+        ledger = TenantLedger()
+        for _ in range(5):
+            ledger.record_admission("a")
+        ledger.record_eviction("a")
+        ledger.record_eviction("a", quota_enforced=True)
+        account = ledger.snapshot()["a"]
+        assert account.resident == 3
+        assert account.peak_resident == 5
+        assert account.evictions == 2
+        assert account.quota_evictions == 1
+
+
+class TestQuota:
+    def test_over_quota_at_the_boundary(self):
+        # "At or over quota pays" — the multi-pool idiom: admitting one
+        # more page when resident == quota would exceed it.
+        ledger = TenantLedger({"a": 2})
+        assert not ledger.over_quota("a")
+        ledger.record_admission("a")
+        assert not ledger.over_quota("a")
+        ledger.record_admission("a")
+        assert ledger.over_quota("a")
+        ledger.record_eviction("a")
+        assert not ledger.over_quota("a")
+
+    def test_quota_applies_per_tenant(self):
+        ledger = TenantLedger({"a": 1})
+        ledger.record_admission("a")
+        ledger.record_admission("b")
+        ledger.record_admission("b")
+        assert ledger.over_quota("a")
+        assert not ledger.over_quota("b")
+        assert ledger.snapshot()["a"].quota == 1
+        assert ledger.snapshot()["b"].quota is None
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_copy(self):
+        ledger = TenantLedger()
+        ledger.record_admission("a")
+        frozen = ledger.snapshot()
+        ledger.record_admission("a")
+        assert frozen["a"].resident == 1
+        assert ledger.snapshot()["a"].resident == 2
+
+    def test_tenants_sorted(self):
+        ledger = TenantLedger()
+        for tenant in ("c", "a", "b"):
+            ledger.ensure(tenant)
+        assert ledger.tenants() == ["a", "b", "c"]

@@ -28,6 +28,7 @@ class TestTopLevelApi:
         "repro.core", "repro.policies", "repro.buffer", "repro.storage",
         "repro.db", "repro.workloads", "repro.sim", "repro.analysis",
         "repro.stats", "repro.experiments", "repro.cli", "repro.obs",
+        "repro.service",
     ])
     def test_every_package_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -37,7 +38,7 @@ class TestTopLevelApi:
         for module_name in ("repro.core", "repro.policies", "repro.buffer",
                             "repro.storage", "repro.db", "repro.workloads",
                             "repro.sim", "repro.analysis", "repro.stats",
-                            "repro.experiments", "repro.obs"):
+                            "repro.experiments", "repro.obs", "repro.service"):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert getattr(module, name, None) is not None, (
